@@ -1,0 +1,50 @@
+"""Figure 4 (and Figure 33): batching parameter S vs ACF fidelity.
+
+Paper result: S=1 (per-step generation, like prior time series GANs) gives
+the worst autocorrelation MSE; a moderate S (so the RNN takes ~50 passes,
+and here one pass covers the weekly period) is substantially better.
+
+Bench-scale: sweep S over divisors of the series length; shorter training
+per point to keep the sweep affordable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_dataset, get_model, print_series
+from repro.metrics import autocorrelation_mse, average_autocorrelation
+
+SWEEP = [1, 4, 7, 14, 28]
+N_GENERATE = 200
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_batch_size_sweep(once):
+    real = get_dataset("wwt")
+    real_acf = average_autocorrelation(real.feature_column("daily_views"),
+                                       real.lengths, max_lag=28)
+
+    def sweep():
+        mses = []
+        for s in SWEEP:
+            if s == 7:
+                # S=7 is the main benchmark configuration; reuse it.
+                model = get_model("wwt", "dg")
+            else:
+                model = get_model("wwt", "dg", cache_tag=f"S={s}",
+                                  sample_len=s)
+            syn = model.generate(N_GENERATE, rng=np.random.default_rng(2))
+            acf = average_autocorrelation(syn.feature_column("daily_views"),
+                                          syn.lengths, max_lag=28)
+            mses.append(autocorrelation_mse(real_acf, acf))
+        return mses
+
+    mses = once(sweep)
+    print_series("Figure 4: S vs autocorrelation MSE (WWT)", "S", SWEEP,
+                 {"acf_mse": mses})
+
+    by_s = dict(zip(SWEEP, mses))
+    # Paper shape: per-step generation (S=1, what prior time series GANs
+    # use) is beaten by the recommended moderate S (S=7 here: one weekly
+    # period per pass).
+    assert by_s[7] < by_s[1]

@@ -1,0 +1,53 @@
+"""Figure 11: end-event-type prediction accuracy (GCUT).
+
+Paper result: predictors trained on DoppelGANger-generated data and tested
+on real data get the highest accuracy among generative models for all five
+classifier families (MLP, Naive Bayes, logistic regression, decision tree,
+linear SVM); real training data is, expectedly, the upper bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.downstream import (default_classifiers,
+                              event_prediction_features,
+                              train_real_test_real,
+                              train_synthetic_test_real)
+from repro.experiments import MODEL_NAMES, get_split, print_table
+
+SOURCES = ["dg", "ar", "rnn", "hmm", "naive_gan"]
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_event_prediction(once):
+    def evaluate():
+        table = {}
+        classifier_names = [m.name for m in default_classifiers()]
+        # Real upper bound (train on A, test on A').
+        split = get_split("gcut", "dg")
+        table["Real"] = [
+            train_real_test_real(split, model, event_prediction_features)
+            for model in default_classifiers(mlp_iterations=200)
+        ]
+        for key in SOURCES:
+            split = get_split("gcut", key)
+            table[MODEL_NAMES[key]] = [
+                train_synthetic_test_real(split, model,
+                                          event_prediction_features)
+                for model in default_classifiers(mlp_iterations=200)
+            ]
+        return classifier_names, table
+
+    classifier_names, table = once(evaluate)
+    rows = [[source] + scores for source, scores in table.items()]
+    print_table("Figure 11: event-type prediction accuracy "
+                "(train on source, test on real GCUT)",
+                ["training source"] + classifier_names, rows)
+
+    # Paper shape: averaged over classifiers, DG beats every baseline and
+    # real data is the best.
+    means = {source: float(np.mean(scores))
+             for source, scores in table.items()}
+    baselines = [means[MODEL_NAMES[k]] for k in SOURCES if k != "dg"]
+    assert means["DoppelGANger"] > max(baselines) - 0.02
+    assert means["Real"] >= means["DoppelGANger"] - 0.05

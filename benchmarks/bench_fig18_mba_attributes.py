@@ -1,0 +1,51 @@
+"""Figures 18-23: MBA attribute histograms + JSD (ISP, technology, state).
+
+Paper result: HMM/AR/RNN trivially match the marginals (they bootstrap
+attributes from the training set); DoppelGANger's JSD is very close to
+those; the naive GAN is the outlier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import MODEL_NAMES, get_dataset, get_model, \
+    print_table
+from repro.metrics import categorical_jsd
+
+ATTRIBUTES = [("technology", 5), ("isp", 14), ("state", 50)]
+N_GENERATE = 400
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_fig18_mba_attribute_jsd(once):
+    real = get_dataset("mba")
+    real_vals = {attr: real.attribute_column(attr).astype(int)
+                 for attr, _ in ATTRIBUTES}
+
+    def evaluate():
+        table = {}
+        for key in ["dg", "ar", "rnn", "hmm", "naive_gan"]:
+            model = get_model("mba", key)
+            syn = model.generate(N_GENERATE, rng=np.random.default_rng(8))
+            table[key] = [
+                categorical_jsd(real_vals[attr],
+                                syn.attribute_column(attr).astype(int), k)
+                for attr, k in ATTRIBUTES
+            ]
+        return table
+
+    table = once(evaluate)
+    rows = [[MODEL_NAMES[k]] + table[k] for k in table]
+    print_table("Figures 20/21/23: MBA attribute JSD vs real "
+                "(lower is better)",
+                ["model"] + [attr for attr, _ in ATTRIBUTES], rows)
+
+    # Paper shape at CPU scale: DG nails the small-cardinality attribute
+    # (technology, 5 categories) and clearly beats the naive GAN on
+    # aggregate; the 50-category state attribute needs paper-scale
+    # training to sharpen (see EXPERIMENTS.md).  Bootstrap baselines are
+    # trivially near-perfect by construction.
+    totals = {k: sum(v) for k, v in table.items()}
+    technology_jsd = table["dg"][0]
+    assert technology_jsd < 0.05
+    assert totals["dg"] < totals["naive_gan"]

@@ -1,0 +1,46 @@
+"""§2.1 "structural characterization": p95 capacity provisioning (MBA).
+
+The paper's second motivating task: synthetic data should preserve the
+structural statistics designers provision from.  Here each model's
+synthetic MBA trace is used to compute a classic p95 per-technology
+capacity plan, compared to the plan computed from real data (mean relative
+capacity error).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import MODEL_NAMES, get_dataset, get_model, \
+    print_table
+from repro.workloads import capacity_plan, provisioning_error
+
+N_GENERATE = 400
+
+
+@pytest.mark.benchmark(group="sec21")
+def test_sec21_provisioning(once):
+    real = get_dataset("mba")
+    real_plan = capacity_plan(real, "traffic_bytes", "technology",
+                              percentile=95)
+
+    def evaluate():
+        errors = {}
+        for key in ["dg", "ar", "rnn", "hmm", "naive_gan"]:
+            model = get_model("mba", key)
+            syn = model.generate(N_GENERATE, rng=np.random.default_rng(13))
+            plan = capacity_plan(syn, "traffic_bytes", "technology",
+                                 percentile=95)
+            errors[key] = provisioning_error(real_plan, plan)
+        return errors
+
+    errors = once(evaluate)
+    rows = [[MODEL_NAMES[k], v] for k, v in errors.items()]
+    print_table("§2.1 structural characterization: p95 provisioning error "
+                "vs real plan (relative, lower is better)",
+                ["model", "mean relative capacity error"], rows)
+
+    # Shape: the synthetic plan from DG is usable (sub-100% error) and DG
+    # is not the worst model.
+    assert errors["dg"] < 1.0
+    assert errors["dg"] < max(errors.values()) or \
+        errors["dg"] == min(errors.values())

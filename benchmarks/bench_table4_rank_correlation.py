@@ -1,0 +1,55 @@
+"""Table 4 (+ Figures 28-29): rank correlation of predictor rankings.
+
+Paper result: training and testing predictors purely on synthetic data (B /
+B') preserves the real-data ranking (A / A') best for DoppelGANger and the
+AR baseline (rho ~1.0 / 0.8), while HMM and naive GAN scramble it -- with
+the caveat that AR's high rho is misleading (its samples are low-quality
+but uniformly easy).
+"""
+
+import pytest
+
+from repro.downstream import (algorithm_ranking, default_classifiers,
+                              default_regressors,
+                              event_prediction_features, forecasting_arrays)
+from repro.experiments import MODEL_NAMES, get_split, print_table
+
+SOURCES = ["dg", "ar", "rnn", "hmm", "naive_gan"]
+
+
+def _forecast_features(dataset):
+    history = dataset.schema.max_length - 8
+    return forecasting_arrays(dataset, "daily_views", history=history,
+                              horizon=8)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_rank_correlation(once):
+    def evaluate():
+        gcut_rho = {}
+        wwt_rho = {}
+        for key in SOURCES:
+            split = get_split("gcut", key)
+            result = algorithm_ranking(
+                split, default_classifiers(mlp_iterations=200),
+                event_prediction_features)
+            gcut_rho[key] = result.rank_correlation
+            split = get_split("wwt", key)
+            result = algorithm_ranking(
+                split, default_regressors(mlp_iterations=200),
+                _forecast_features)
+            wwt_rho[key] = result.rank_correlation
+        return gcut_rho, wwt_rho
+
+    gcut_rho, wwt_rho = once(evaluate)
+    rows = [[MODEL_NAMES[k], gcut_rho[k], wwt_rho[k]] for k in SOURCES]
+    print_table("Table 4: Spearman rank correlation of predictor rankings "
+                "(higher is better)",
+                ["model", "GCUT (classifiers)", "WWT (regressors)"], rows)
+
+    # Paper shape, asserted on the GCUT column (5 classifiers; the WWT
+    # column ranks only 4 regressors, so its Spearman rho is extremely
+    # coarse -- +-0.2 steps -- and noisy at bench scale; it is reported
+    # above but not asserted).
+    assert gcut_rho["dg"] >= max(gcut_rho[k] for k in SOURCES) - 0.1
+    assert gcut_rho["dg"] > 0.5

@@ -1,0 +1,29 @@
+"""Benchmark suite configuration.
+
+Each ``bench_*`` module reproduces one table or figure of the paper at
+benchmark scale (see repro/experiments/configs.py and EXPERIMENTS.md).
+Models are trained once per session via the repro.experiments harness cache;
+the ``benchmark`` fixture times the regeneration step (sampling + metric),
+and the paper's rows/series are printed to stdout.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+"""
+
+import sys
+
+import pytest
+
+
+def pytest_configure(config):
+    print("\n[benchmarks] DoppelGANger reproduction benchmark suite; "
+          "models are trained once and cached per session.",
+          file=sys.stderr)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (GAN-scale workloads)."""
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+    return run

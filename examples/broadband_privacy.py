@@ -1,0 +1,77 @@
+"""Privacy mechanisms on broadband measurements (§5.3).
+
+An ISP-measurement holder wants to share FCC-MBA-style data but considers
+its ISP mix a business secret.  This example shows the paper's two
+mechanisms:
+
+1. Attribute obfuscation (§5.3.2): retrain only the attribute generator so
+   the released ISP marginal is uniform -- a perfect (ε = 0) mask of the
+   real distribution -- while per-technology bandwidth structure survives.
+2. DP accounting (§5.3.1): what (ε, δ) a DP-SGD training run would give,
+   and how the noise needed for small ε explains the paper's finding that
+   DP destroys fidelity.
+
+Usage:  python examples/broadband_privacy.py
+"""
+
+import numpy as np
+
+from repro import DGConfig, DoppelGANger
+from repro.data.simulators import MBA_ISPS, generate_mba
+from repro.metrics import jensen_shannon_divergence, per_object_total
+from repro.privacy import DPPlan, epsilon_for_noise, obfuscate_attribute
+
+
+def isp_marginal(dataset) -> np.ndarray:
+    counts = np.bincount(dataset.attribute_column("isp").astype(int),
+                         minlength=len(MBA_ISPS)).astype(float)
+    return counts / counts.sum()
+
+
+def main():
+    rng = np.random.default_rng(0)
+    real = generate_mba(400, rng)
+
+    config = DGConfig(
+        sample_len=4,
+        attribute_hidden=(64, 64), minmax_hidden=(64, 64),
+        feature_rnn_units=48, feature_mlp_hidden=(64,),
+        discriminator_hidden=(64, 64), aux_discriminator_hidden=(64, 64),
+        batch_size=32, iterations=600, seed=4,
+    )
+    model = DoppelGANger(real.schema, config)
+    model.fit(real)
+
+    before = model.generate(400, rng=np.random.default_rng(1))
+    print("ISP marginal JSD to the REAL (secret) distribution before "
+          f"obfuscation: {jensen_shannon_divergence(isp_marginal(before), isp_marginal(real)):.4f}")
+
+    # --- 1. obfuscate the ISP attribute to uniform (§5.3.2) ---
+    uniform = np.full(len(MBA_ISPS), 1.0 / len(MBA_ISPS))
+    obfuscate_attribute(model, "isp", uniform,
+                        rng=np.random.default_rng(2), iterations=250)
+    after = model.generate(400, rng=np.random.default_rng(1))
+    print("ISP marginal JSD to UNIFORM after obfuscation: "
+          f"{jensen_shannon_divergence(isp_marginal(after), uniform):.4f} "
+          "(lower = better masked)")
+
+    # Utility check: aggregate bandwidth statistics survive obfuscation.
+    real_bw = per_object_total(real, "traffic_bytes")
+    after_bw = per_object_total(after, "traffic_bytes")
+    print(f"mean 2-week bandwidth  real: {real_bw.mean():.1f}   "
+          f"obfuscated synthetic: {after_bw.mean():.1f}")
+
+    # --- 2. DP-SGD accounting (§5.3.1) ---
+    plan = DPPlan(dataset_size=len(real), batch_size=config.batch_size,
+                  iterations=config.iterations, delta=1e-5)
+    print("\nDP-SGD accounting for this training plan "
+          f"(q={plan.sampling_probability:.3f}, T={plan.iterations}):")
+    for noise in (0.5, 1.0, 2.0, 4.0):
+        epsilon = epsilon_for_noise(plan, noise)
+        print(f"  noise multiplier {noise:4.1f}  ->  epsilon = {epsilon:8.2f}")
+    print("The noise needed for single-digit epsilon is what destroys the "
+          "temporal correlations in Figure 13.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Rare-event augmentation via attribute retargeting (§5.2).
+
+Cluster FAIL events are rare, which starves failure-prediction research of
+positive examples.  With DoppelGANger's decoupled design, a data consumer
+retrains *only the attribute generator* towards a failure-heavy
+distribution; the feature generator -- and with it the learned conditional
+P(time series | event type), e.g. rising memory before FAIL -- is untouched.
+
+Usage:  python examples/rare_event_augmentation.py
+"""
+
+import numpy as np
+
+from repro import DGConfig, DoppelGANger
+from repro.data.simulators import GCUT_END_EVENT_TYPES, generate_gcut
+
+
+def event_shares(dataset) -> np.ndarray:
+    counts = np.bincount(
+        dataset.attribute_column("end_event_type").astype(int), minlength=4)
+    return counts / counts.sum()
+
+
+def mem_growth_by_event(dataset) -> dict:
+    """Mean memory growth (last minus first window), per event type."""
+    mem = dataset.feature_column("canonical_memory_usage")
+    last = mem[np.arange(len(dataset)), dataset.lengths - 1]
+    growth = last - mem[:, 0]
+    events = dataset.attribute_column("end_event_type")
+    return {name: float(growth[events == i].mean())
+            if (events == i).any() else float("nan")
+            for i, name in enumerate(GCUT_END_EVENT_TYPES)}
+
+
+def main():
+    rng = np.random.default_rng(0)
+    real = generate_gcut(500, rng, max_length=24)
+    print("real event shares:     ",
+          dict(zip(GCUT_END_EVENT_TYPES, event_shares(real).round(3))))
+
+    config = DGConfig(
+        sample_len=4,
+        attribute_hidden=(64, 64), minmax_hidden=(64, 64),
+        feature_rnn_units=48, feature_mlp_hidden=(64,),
+        discriminator_hidden=(64, 64), aux_discriminator_hidden=(64, 64),
+        batch_size=32, iterations=600, seed=5,
+    )
+    model = DoppelGANger(real.schema, config)
+    model.fit(real)
+
+    baseline = model.generate(500, rng=np.random.default_rng(1))
+    print("synthetic (as trained):",
+          dict(zip(GCUT_END_EVENT_TYPES, event_shares(baseline).round(3))))
+
+    # Retarget: 70% FAIL, the rest split over the other events.
+    target_shares = np.array([0.1, 0.7, 0.1, 0.1])
+    target_rows = np.random.default_rng(2).choice(
+        4, size=600, p=target_shares)[:, None].astype(float)
+    model.retrain_attribute_generator(target_rows, iterations=250,
+                                      rng=np.random.default_rng(3))
+
+    augmented = model.generate(500, rng=np.random.default_rng(1))
+    print("synthetic (augmented): ",
+          dict(zip(GCUT_END_EVENT_TYPES, event_shares(augmented).round(3))))
+
+    # The conditional dynamics survive: FAIL tasks still show the largest
+    # memory growth, because the feature generator was never touched.
+    print("\nmean memory growth by event type (higher before FAIL):")
+    print("  real:     ", {k: round(v, 3)
+                           for k, v in mem_growth_by_event(real).items()})
+    print("  augmented:", {k: round(v, 3)
+                           for k, v in mem_growth_by_event(augmented).items()})
+
+
+if __name__ == "__main__":
+    main()

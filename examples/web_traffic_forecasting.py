@@ -1,0 +1,71 @@
+"""Reproducible open research on web traffic (use case 2 of §2.1).
+
+A provider of page-view data releases a DoppelGANger model instead of raw
+traffic.  Researchers generate synthetic series, develop forecasting
+models on them, and the models transfer to real data (the Figure-27
+experiment).  Along the way we check the headline fidelity result: the
+synthetic data keeps both the weekly and the long-period autocorrelation
+structure (Figure 1).
+
+Usage:  python examples/web_traffic_forecasting.py
+"""
+
+import numpy as np
+
+from repro import DGConfig, DoppelGANger
+from repro.data.simulators import generate_wwt
+from repro.data.splits import make_split
+from repro.downstream import (LinearRegressionModel, MLPRegressor,
+                              forecasting_arrays, r2_score)
+from repro.metrics import autocorrelation_mse, average_autocorrelation
+
+LENGTH = 56           # series length (bench-scale "550 days")
+LONG_PERIOD = 28      # bench-scale "annual" period
+HORIZON = 8           # forecast the last 8 days from the first 48
+
+
+def main():
+    rng = np.random.default_rng(0)
+    real = generate_wwt(400, rng, length=LENGTH, long_period=LONG_PERIOD)
+    split = make_split(real, rng)
+
+    config = DGConfig(
+        sample_len=7,   # one weekly period per RNN pass (§4.4 guidance)
+        attribute_hidden=(64, 64), minmax_hidden=(64, 64),
+        feature_rnn_units=48, feature_mlp_hidden=(64,),
+        discriminator_hidden=(64, 64), aux_discriminator_hidden=(64, 64),
+        batch_size=32, iterations=800, seed=3,
+    )
+    model = DoppelGANger(real.schema, config)
+    model.fit(split.train_real)
+    synthetic = model.generate(len(split.train_real),
+                               rng=np.random.default_rng(1))
+
+    # Fidelity: the two autocorrelation peaks of Figure 1.
+    real_acf = average_autocorrelation(real.feature_column("daily_views"),
+                                       max_lag=LONG_PERIOD)
+    syn_acf = average_autocorrelation(
+        synthetic.feature_column("daily_views"), max_lag=LONG_PERIOD)
+    print("autocorrelation  lag=7 (weekly)  lag=28 ('annual')   MSE")
+    print(f"  real           {real_acf[7]:13.3f}  {real_acf[28]:16.3f}")
+    print(f"  synthetic      {syn_acf[7]:13.3f}  {syn_acf[28]:16.3f}"
+          f"   {autocorrelation_mse(real_acf, syn_acf):.4f}")
+
+    # Downstream: forecasting models trained on synthetic, tested on real.
+    def features(dataset):
+        return forecasting_arrays(dataset, "daily_views",
+                                  history=LENGTH - HORIZON, horizon=HORIZON)
+
+    x_syn, y_syn = features(synthetic)
+    x_test, y_test = features(split.test_real)
+    print("\nforecasting R² on real test data "
+          "(models trained only on synthetic):")
+    for regressor in [LinearRegressionModel(),
+                      MLPRegressor(hidden=(64,), iterations=300, seed=0)]:
+        regressor.fit(x_syn, y_syn)
+        score = r2_score(y_test, regressor.predict(x_test))
+        print(f"  {regressor.name:16s} R² = {score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

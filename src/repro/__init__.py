@@ -1,0 +1,43 @@
+"""DoppelGANger reproduction.
+
+Reproduction of "Using GANs for Sharing Networked Time Series Data:
+Challenges, Initial Promise, and Open Questions" (Lin et al., IMC 2020).
+
+The package is organised as:
+
+- :mod:`repro.nn` -- numpy autodiff + neural-network substrate (MLP, LSTM,
+  Adam, WGAN-GP-capable double backprop, DP-SGD).
+- :mod:`repro.data` -- the time series dataset abstraction of the paper
+  (attributes + variable-length feature series) plus synthetic simulators
+  standing in for the three paper datasets (WWT, MBA, GCUT).
+- :mod:`repro.core` -- the DoppelGANger model itself.
+- :mod:`repro.baselines` -- HMM, auto-regressive MLP, RNN, and naive GAN
+  baselines evaluated in the paper.
+- :mod:`repro.metrics` -- fidelity metrics (autocorrelation, Wasserstein-1,
+  JSD, memorization checks, rank correlation).
+- :mod:`repro.downstream` -- from-scratch predictive models used for the
+  downstream-task evaluations.
+- :mod:`repro.privacy` -- membership inference and differential privacy.
+- :mod:`repro.flexibility` -- attribute-generator retraining.
+- :mod:`repro.experiments` -- shared harness used by the benchmark suite.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["DoppelGANger", "DGConfig", "TimeSeriesDataset", "__version__"]
+
+_LAZY = {
+    "DoppelGANger": ("repro.core.doppelganger", "DoppelGANger"),
+    "DGConfig": ("repro.core.config", "DGConfig"),
+    "TimeSeriesDataset": ("repro.data.dataset", "TimeSeriesDataset"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve top-level re-exports (avoids import cycles)."""
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

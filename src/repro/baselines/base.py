@@ -1,0 +1,61 @@
+"""Shared interface for all generative models (§5.0.1 baselines).
+
+Every baseline follows the paper's recipe for attributes: they are drawn
+from the empirical (multinomial) distribution of the training data, jointly
+across attribute fields, independent of the generated time series.  Each
+baseline then generates features (and generation flags, §4.1.1) its own way.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.encoding import DataEncoder
+from repro.data.schema import DataSchema
+
+__all__ = ["GenerativeModel", "EmpiricalAttributeSampler"]
+
+
+class GenerativeModel(abc.ABC):
+    """Common fit/generate interface shared with DoppelGANger."""
+
+    name: str = "model"
+
+    @abc.abstractmethod
+    def fit(self, dataset: TimeSeriesDataset):
+        """Train on a raw dataset."""
+
+    @abc.abstractmethod
+    def generate(self, n: int,
+                 rng: np.random.Generator | None = None) -> TimeSeriesDataset:
+        """Sample ``n`` synthetic objects."""
+
+
+class EmpiricalAttributeSampler:
+    """Bootstrap sampler over training attribute rows.
+
+    Sampling full rows preserves the *joint* attribute distribution, which
+    is why the paper notes these baselines "trivially learn a perfect
+    attribute distribution".
+    """
+
+    def __init__(self):
+        self._rows: np.ndarray | None = None
+
+    def fit(self, dataset: TimeSeriesDataset) -> "EmpiricalAttributeSampler":
+        self._rows = dataset.attributes.copy()
+        return self
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if self._rows is None:
+            raise RuntimeError("sampler not fitted")
+        idx = rng.integers(0, len(self._rows), size=n)
+        return self._rows[idx]
+
+
+def make_baseline_encoder(schema: DataSchema) -> DataEncoder:
+    """Encoder used by baselines: global normalisation, no min/max trick."""
+    return DataEncoder(schema, auto_normalize=False, target_range="zero_one")

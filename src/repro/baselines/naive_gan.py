@@ -1,0 +1,117 @@
+"""Naive GAN baseline (§3.3, Appendix B).
+
+The "first GAN architecture one might think of": an MLP generator that emits
+attributes and the whole (flattened) time series *jointly* in one shot, an
+MLP discriminator, Wasserstein loss with gradient penalty.  No decoupled
+attribute generation, no RNN, no batched generation, no auto-normalisation.
+This is the architecture whose failures (Figure 1 autocorrelation, Figure 8
+dropped attribute category via mode collapse) motivate DoppelGANger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import GenerativeModel, make_baseline_encoder
+from repro.core.generator import BlockActivation, OutputBlock
+from repro.core.losses import critic_loss, generator_loss
+from repro.data.dataset import TimeSeriesDataset
+from repro.nn import MLP, Adam, Tensor, grad, no_grad
+
+__all__ = ["NaiveGANBaseline"]
+
+
+class NaiveGANBaseline(GenerativeModel):
+    """Joint MLP WGAN-GP over [attributes || flattened features+flags]."""
+
+    name = "Naive GAN"
+
+    def __init__(self, noise_dim: int = 20,
+                 generator_hidden: tuple[int, ...] = (200, 200, 200, 200),
+                 discriminator_hidden: tuple[int, ...] = (200, 200, 200, 200),
+                 learning_rate: float = 1e-3, batch_size: int = 100,
+                 iterations: int = 500, gradient_penalty_weight: float = 10.0,
+                 seed: int = 0):
+        self.noise_dim = noise_dim
+        self.generator_hidden = generator_hidden
+        self.discriminator_hidden = discriminator_hidden
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.iterations = iterations
+        self.gradient_penalty_weight = gradient_penalty_weight
+        self.seed = seed
+        self.encoder = None
+        self.schema = None
+        self.generator: MLP | None = None
+        self.discriminator: MLP | None = None
+        self.activation: BlockActivation | None = None
+        self.loss_history: list[float] = []
+
+    def _build_blocks(self) -> list[OutputBlock]:
+        blocks = [OutputBlock(f.dimension, "softmax" if f.is_categorical
+                              else "sigmoid")
+                  for f in self.schema.attributes]
+        step = [OutputBlock(f.dimension, "softmax" if f.is_categorical
+                            else "sigmoid")
+                for f in self.schema.features] + [OutputBlock(2, "softmax")]
+        blocks.extend(step * self.schema.max_length)
+        return blocks
+
+    def fit(self, dataset: TimeSeriesDataset) -> "NaiveGANBaseline":
+        rng = np.random.default_rng(self.seed)
+        self.schema = dataset.schema
+        self.encoder = make_baseline_encoder(dataset.schema).fit(dataset)
+        encoded = self.encoder.transform(dataset)
+        n = len(encoded)
+        flat_real = np.concatenate(
+            [encoded.attributes,
+             encoded.features.reshape(n, -1)], axis=1)
+        out_dim = flat_real.shape[1]
+
+        self.activation = BlockActivation(self._build_blocks())
+        if self.activation.dimension != out_dim:
+            raise RuntimeError("output block layout does not match data")
+        self.generator = MLP(self.noise_dim, list(self.generator_hidden),
+                             out_dim, rng=rng)
+        self.discriminator = MLP(out_dim, list(self.discriminator_hidden), 1,
+                                 rng=rng)
+        g_params = self.generator.parameters()
+        d_params = self.discriminator.parameters()
+        g_opt = Adam(g_params, lr=self.learning_rate)
+        d_opt = Adam(d_params, lr=self.learning_rate)
+
+        self.loss_history = []
+        batch = min(self.batch_size, n)
+        for _ in range(self.iterations):
+            # Critic step.
+            idx = rng.integers(0, n, size=batch)
+            real = Tensor(flat_real[idx])
+            with no_grad():
+                z = Tensor(rng.normal(size=(batch, self.noise_dim)))
+                fake_const = Tensor(self.activation(self.generator(z)).data)
+            d_loss = critic_loss(self.discriminator, real, fake_const,
+                                 self.gradient_penalty_weight, rng)
+            d_opt.step(grad(d_loss, d_params, allow_unused=True))
+            # Generator step.
+            z = Tensor(rng.normal(size=(batch, self.noise_dim)))
+            fake = self.activation(self.generator(z))
+            g_loss = generator_loss(self.discriminator, fake)
+            g_opt.step(grad(g_loss, g_params, allow_unused=True))
+            self.loss_history.append(g_loss.item())
+        return self
+
+    def generate(self, n: int,
+                 rng: np.random.Generator | None = None) -> TimeSeriesDataset:
+        if self.generator is None:
+            raise RuntimeError("fit() must be called before generate()")
+        rng = rng or np.random.default_rng()
+        attr_dim = self.encoder.attribute_dim
+        tmax = self.schema.max_length
+        dim = self.encoder.feature_dim
+        with no_grad():
+            z = Tensor(rng.normal(size=(n, self.noise_dim)))
+            flat = self.activation(self.generator(z)).data
+        attrs = flat[:, :attr_dim]
+        features = flat[:, attr_dim:].reshape(n, tmax, dim)
+        minmax = np.zeros((n, 0))
+        return self.encoder.inverse(attrs, minmax, features)

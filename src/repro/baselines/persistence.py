@@ -1,0 +1,181 @@
+"""Save/load support for the baseline models.
+
+Baselines are release artifacts too (a data holder might ship an HMM where
+a GAN is overkill), so each gets the same npz persistence as DoppelGANger.
+One caveat the paper's threat model makes explicit: these baselines carry
+the *empirical attribute rows* of the training data inside the sampler, so
+their parameter files leak training attributes verbatim -- unlike
+DoppelGANger's learned attribute generator.  ``save_baseline`` records that
+fact in the archive metadata.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.baselines.ar import ARBaseline
+from repro.baselines.hmm import HMMBaseline
+from repro.baselines.naive_gan import NaiveGANBaseline
+from repro.baselines.rnn import RNNBaseline
+from repro.data.schema import schema_from_dict, schema_to_dict
+
+__all__ = ["save_baseline", "load_baseline"]
+
+_KINDS = {
+    "HMM": HMMBaseline,
+    "AR": ARBaseline,
+    "RNN": RNNBaseline,
+    "Naive GAN": NaiveGANBaseline,
+}
+
+
+def save_baseline(model, path) -> None:
+    """Persist a fitted baseline (HMM/AR/RNN/Naive GAN) to npz."""
+    if model.encoder is None:
+        raise RuntimeError("model must be fitted before saving")
+    meta = {
+        "kind": model.name,
+        "schema": schema_to_dict(model.schema),
+        "encoder": model.encoder.state(),
+        "hyper": _hyperparameters(model),
+        "leaks_training_attributes": hasattr(model, "attribute_sampler"),
+    }
+    arrays = {"__meta__": np.frombuffer(json.dumps(meta).encode("utf-8"),
+                                        dtype=np.uint8)}
+    arrays.update(_arrays(model))
+    np.savez(path, **arrays)
+
+
+def load_baseline(path):
+    """Restore a baseline saved with :func:`save_baseline`."""
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["__meta__"].tobytes()).decode())
+        arrays = {k: archive[k] for k in archive.files if k != "__meta__"}
+    cls = _KINDS[meta["kind"]]
+    model = cls(**meta["hyper"])
+    model.schema = schema_from_dict(meta["schema"])
+    from repro.baselines.base import make_baseline_encoder
+
+    model.encoder = make_baseline_encoder(model.schema).load_state(
+        meta["encoder"])
+    _restore_arrays(model, arrays)
+    return model
+
+
+def _hyperparameters(model) -> dict:
+    if isinstance(model, HMMBaseline):
+        return {"n_states": model.hmm.n_states, "n_iter": model.hmm.n_iter,
+                "seed": model.hmm.seed}
+    if isinstance(model, ARBaseline):
+        return {"p": model.p, "hidden": list(model.hidden),
+                "noise_scale": model.noise_scale, "seed": model.seed}
+    if isinstance(model, RNNBaseline):
+        return {"hidden_size": model.hidden_size, "seed": model.seed}
+    if isinstance(model, NaiveGANBaseline):
+        return {"noise_dim": model.noise_dim,
+                "generator_hidden": list(model.generator_hidden),
+                "discriminator_hidden": list(model.discriminator_hidden),
+                "seed": model.seed}
+    raise TypeError(f"unsupported baseline {type(model).__name__}")
+
+
+def _arrays(model) -> dict[str, np.ndarray]:
+    out: dict[str, np.ndarray] = {}
+    if hasattr(model, "attribute_sampler"):
+        out["sampler::rows"] = model.attribute_sampler._rows
+    if isinstance(model, HMMBaseline):
+        hmm = model.hmm
+        out.update({"hmm::start": hmm.start_prob,
+                    "hmm::transition": hmm.transition,
+                    "hmm::means": hmm.means,
+                    "hmm::variances": hmm.variances})
+    elif isinstance(model, ARBaseline):
+        out.update({f"mlp::{k}": v for k, v in
+                    model.mlp.state_dict().items()})
+        out.update({"ar::residual_std": model._residual_std,
+                    "ar::first_mean": model._first_mean,
+                    "ar::first_std": model._first_std})
+    elif isinstance(model, RNNBaseline):
+        out.update({f"cell::{k}": v for k, v in
+                    model.cell.state_dict().items()})
+        out.update({f"readout::{k}": v for k, v in
+                    model.readout.state_dict().items()})
+        out.update({"rnn::first_mean": model._first_mean,
+                    "rnn::first_std": model._first_std})
+    elif isinstance(model, NaiveGANBaseline):
+        out.update({f"generator::{k}": v for k, v in
+                    model.generator.state_dict().items()})
+        out.update({f"discriminator::{k}": v for k, v in
+                    model.discriminator.state_dict().items()})
+    return out
+
+
+def _restore_arrays(model, arrays: dict[str, np.ndarray]) -> None:
+    import numpy as np
+
+    if hasattr(model, "attribute_sampler"):
+        model.attribute_sampler._rows = arrays["sampler::rows"]
+    if isinstance(model, HMMBaseline):
+        hmm = model.hmm
+        hmm.start_prob = arrays["hmm::start"]
+        hmm.transition = arrays["hmm::transition"]
+        hmm.means = arrays["hmm::means"]
+        hmm.variances = arrays["hmm::variances"]
+        return
+    if isinstance(model, ARBaseline):
+        encoded = model.encoder
+        dim = encoded.feature_dim
+        attr_dim = encoded.attribute_dim
+        from repro.nn import MLP
+        model.mlp = MLP(attr_dim + model.p * dim, list(model.hidden), dim,
+                        rng=np.random.default_rng(model.seed))
+        model.mlp.load_state_dict(
+            {k.split("::", 1)[1]: v for k, v in arrays.items()
+             if k.startswith("mlp::")})
+        model._residual_std = arrays["ar::residual_std"]
+        model._first_mean = arrays["ar::first_mean"]
+        model._first_std = arrays["ar::first_std"]
+        return
+    if isinstance(model, RNNBaseline):
+        from repro.nn import Linear, LSTMCell
+        dim = model.encoder.feature_dim
+        attr_dim = model.encoder.attribute_dim
+        rng = np.random.default_rng(model.seed)
+        model.cell = LSTMCell(attr_dim + dim, model.hidden_size, rng=rng)
+        model.readout = Linear(model.hidden_size, dim, rng=rng)
+        model.cell.load_state_dict(
+            {k.split("::", 1)[1]: v for k, v in arrays.items()
+             if k.startswith("cell::")})
+        model.readout.load_state_dict(
+            {k.split("::", 1)[1]: v for k, v in arrays.items()
+             if k.startswith("readout::")})
+        model._first_mean = arrays["rnn::first_mean"]
+        model._first_std = arrays["rnn::first_std"]
+        return
+    if isinstance(model, NaiveGANBaseline):
+        from repro.nn import MLP
+        rng = np.random.default_rng(model.seed)
+        n_steps = model.schema.max_length
+        out_dim = (model.encoder.attribute_dim
+                   + n_steps * model.encoder.feature_dim)
+        model.activation = _rebuild_naive_activation(model)
+        model.generator = MLP(model.noise_dim,
+                              list(model.generator_hidden), out_dim,
+                              rng=rng)
+        model.discriminator = MLP(out_dim,
+                                  list(model.discriminator_hidden), 1,
+                                  rng=rng)
+        model.generator.load_state_dict(
+            {k.split("::", 1)[1]: v for k, v in arrays.items()
+             if k.startswith("generator::")})
+        model.discriminator.load_state_dict(
+            {k.split("::", 1)[1]: v for k, v in arrays.items()
+             if k.startswith("discriminator::")})
+
+
+def _rebuild_naive_activation(model: NaiveGANBaseline):
+    from repro.core.generator import BlockActivation
+
+    return BlockActivation(model._build_blocks())

@@ -1,0 +1,124 @@
+"""RNN (teacher-forced LSTM) baseline (§2.2, §5.0.1).
+
+An LSTM is trained with teacher forcing to predict the next encoded record
+from the previous one plus the attributes.  At generation time the model's
+own outputs are fed back.  As the paper notes, this family "incorporates too
+little randomness": the only stochasticity is the attribute draw and the
+Gaussian first record, which is what makes it miss multi-modal structure
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (EmpiricalAttributeSampler, GenerativeModel,
+                                  make_baseline_encoder)
+from repro.data.dataset import TimeSeriesDataset, padding_mask
+from repro.nn import LSTMCell, Linear, Adam, Tensor, grad, no_grad, ops
+from repro.nn import functional as F
+
+__all__ = ["RNNBaseline"]
+
+
+class RNNBaseline(GenerativeModel):
+    """Teacher-forced LSTM next-step predictor conditioned on attributes."""
+
+    name = "RNN"
+
+    def __init__(self, hidden_size: int = 100, learning_rate: float = 1e-3,
+                 batch_size: int = 100, iterations: int = 200,
+                 seed: int = 0):
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.iterations = iterations
+        self.seed = seed
+        self.attribute_sampler = EmpiricalAttributeSampler()
+        self.encoder = None
+        self.schema = None
+        self.cell: LSTMCell | None = None
+        self.readout: Linear | None = None
+        self._first_mean: np.ndarray | None = None
+        self._first_std: np.ndarray | None = None
+        self.loss_history: list[float] = []
+
+    def fit(self, dataset: TimeSeriesDataset) -> "RNNBaseline":
+        rng = np.random.default_rng(self.seed)
+        self.schema = dataset.schema
+        self.encoder = make_baseline_encoder(dataset.schema).fit(dataset)
+        encoded = self.encoder.transform(dataset)
+        attrs, feats, lengths = (encoded.attributes, encoded.features,
+                                 encoded.lengths)
+        n, tmax, dim = feats.shape
+
+        self.cell = LSTMCell(attrs.shape[1] + dim, self.hidden_size, rng=rng)
+        self.readout = Linear(self.hidden_size, dim, rng=rng)
+        params = self.cell.parameters() + self.readout.parameters()
+        optimizer = Adam(params, lr=self.learning_rate)
+
+        mask_all = padding_mask(lengths, tmax)
+        self.loss_history = []
+        for _ in range(self.iterations):
+            idx = rng.integers(0, n, size=min(self.batch_size, n))
+            a = Tensor(attrs[idx])
+            batch = len(idx)
+            state = self.cell.initial_state(batch)
+            prev = Tensor(np.zeros((batch, dim)))
+            step_losses = []
+            mask = mask_all[idx]
+            for t in range(tmax):
+                m = mask[:, t]
+                if not m.any():
+                    break
+                h, c = self.cell(ops.concat([a, prev], axis=1), state)
+                state = (h, c)
+                pred = ops.sigmoid(self.readout(h))
+                target = Tensor(feats[idx, t])
+                weight = Tensor(m[:, None])
+                diff = (pred - target) * weight
+                step_losses.append((diff * diff).sum())
+                prev = target  # teacher forcing
+            denom = float(mask.sum() * dim)
+            loss = ops.concat(
+                [ops.reshape(l, (1,)) for l in step_losses], axis=0
+            ).sum() / Tensor(denom)
+            optimizer.step(grad(loss, params))
+            self.loss_history.append(loss.item())
+
+        firsts = feats[np.arange(n), 0]
+        self._first_mean = firsts.mean(axis=0)
+        self._first_std = firsts.std(axis=0) + 1e-6
+        self.attribute_sampler.fit(dataset)
+        return self
+
+    def generate(self, n: int,
+                 rng: np.random.Generator | None = None) -> TimeSeriesDataset:
+        if self.cell is None:
+            raise RuntimeError("fit() must be called before generate()")
+        rng = rng or np.random.default_rng()
+        tmax = self.schema.max_length
+        dim = self.encoder.feature_dim
+        attrs_raw = self.attribute_sampler.sample(n, rng)
+        attrs_enc = self.encoder.encode_attributes(attrs_raw)
+
+        features = np.zeros((n, tmax, dim))
+        record = np.clip(
+            rng.normal(self._first_mean, self._first_std, size=(n, dim)),
+            0.0, 1.0)
+        alive = np.ones(n, dtype=bool)
+        with no_grad():
+            a = Tensor(attrs_enc)
+            state = self.cell.initial_state(n)
+            for t in range(tmax):
+                features[alive, t] = record[alive]
+                ended = record[:, -1] > record[:, -2]
+                alive &= ~ended
+                if not alive.any():
+                    break
+                h, c = self.cell(ops.concat([a, Tensor(record)], axis=1),
+                                 state)
+                state = (h, c)
+                record = ops.sigmoid(self.readout(h)).data
+        minmax = np.zeros((n, 0))
+        return self.encoder.inverse(attrs_enc, minmax, features)

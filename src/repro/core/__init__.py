@@ -1,0 +1,19 @@
+"""DoppelGANger core: generators, discriminators, losses, trainer, API."""
+
+from repro.core.config import DGConfig, DPTrainingConfig
+from repro.core.discriminator import AuxiliaryDiscriminator, Discriminator
+from repro.core.doppelganger import DoppelGANger
+from repro.core.generator import (AttributeGenerator, BlockActivation,
+                                  FeatureGenerator, MinMaxGenerator,
+                                  OutputBlock)
+from repro.core.losses import critic_loss, generator_loss, gradient_penalty
+from repro.core.trainer import DGTrainer, TrainingHistory
+
+__all__ = [
+    "DGConfig", "DPTrainingConfig", "DoppelGANger",
+    "AttributeGenerator", "MinMaxGenerator", "FeatureGenerator",
+    "OutputBlock", "BlockActivation",
+    "Discriminator", "AuxiliaryDiscriminator",
+    "critic_loss", "generator_loss", "gradient_penalty",
+    "DGTrainer", "TrainingHistory",
+]

@@ -1,0 +1,120 @@
+"""Configuration for DoppelGANger (§4.4 knobs + Appendix B defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DGConfig", "DPTrainingConfig"]
+
+
+@dataclass
+class DPTrainingConfig:
+    """DP-SGD settings for discriminator updates (§5.3.1).
+
+    The discriminators are the only networks that touch real data, so DP-SGD
+    (per-microbatch clip + Gaussian noise) is applied to their gradients; the
+    accountant then yields the (ε, δ) guarantee.
+    """
+
+    l2_norm_clip: float = 1.0
+    noise_multiplier: float = 1.0
+    delta: float = 1e-5
+    microbatch_size: int = 1
+
+
+@dataclass
+class DGConfig:
+    """Hyper-parameters of the DoppelGANger architecture and training.
+
+    Defaults follow Appendix B; benchmark-scale runs shrink the widths,
+    batch size, and iteration counts (see repro.experiments.configs).
+
+    Attributes:
+        sample_len: The batching parameter S of §4.1.1 (records emitted per
+            RNN pass).  The paper recommends choosing S so that T/S ≈ 50.
+        use_minmax_generator: The auto-normalisation mechanism of §4.1.3.
+        use_auxiliary_discriminator: The fidelity discriminator of §4.2.
+        aux_discriminator_weight: α in the combined loss (Eq. 2).
+        gradient_penalty_weight: λ of WGAN-GP (10.0, per [37]).
+    """
+
+    # Architecture (Appendix B defaults).
+    attribute_noise_dim: int = 5
+    feature_noise_dim: int = 5
+    attribute_hidden: tuple[int, ...] = (100, 100)
+    minmax_hidden: tuple[int, ...] = (100, 100)
+    feature_rnn_units: int = 100
+    feature_mlp_hidden: tuple[int, ...] = (100,)
+    discriminator_hidden: tuple[int, ...] = (200, 200, 200, 200)
+    aux_discriminator_hidden: tuple[int, ...] = (200, 200, 200, 200)
+
+    # Design toggles (§4.4).
+    sample_len: int = 10
+    use_minmax_generator: bool = True
+    use_auxiliary_discriminator: bool = True
+    aux_discriminator_weight: float = 1.0
+    target_range: str = "zero_one"
+
+    # Initialisation: scale applied to the final layer of each generator
+    # network.  Values < 1 start sigmoid/softmax outputs near their
+    # midpoints, avoiding the saturation trap where WGAN gradients vanish
+    # for samples stuck at the output extremes.
+    generator_output_scale: float = 1.0
+
+    # Optional soft clamp c*tanh(x/c) on generator pre-activations; keeps
+    # sigmoid/softmax outputs away from saturation (None disables).
+    generator_logit_bound: float | None = None
+
+    # Training.
+    # "wasserstein" (WGAN-GP, the paper's choice, §4.3) or "vanilla"
+    # (original cross-entropy GAN loss, kept for the ablation).
+    loss_type: str = "wasserstein"
+    gradient_penalty_weight: float = 10.0
+    learning_rate: float = 1e-3
+    # Optional global L2 gradient clipping for both optimizers (None = off).
+    gradient_clip_norm: float | None = None
+    adam_betas: tuple[float, float] = (0.5, 0.999)
+    batch_size: int = 100
+    iterations: int = 2000
+    discriminator_steps: int = 1
+    seed: int = 0
+
+    # Optional differential privacy for discriminator updates.
+    dp: DPTrainingConfig | None = None
+
+    def __post_init__(self):
+        if self.sample_len < 1:
+            raise ValueError("sample_len (S) must be >= 1")
+        if self.batch_size < 2:
+            raise ValueError("batch_size must be >= 2")
+        if not 0 < self.learning_rate:
+            raise ValueError("learning_rate must be positive")
+        if self.aux_discriminator_weight < 0:
+            raise ValueError("aux_discriminator_weight must be >= 0")
+        if self.target_range not in ("zero_one", "minus_one_one"):
+            raise ValueError("target_range must be 'zero_one' or "
+                             "'minus_one_one'")
+        if self.generator_output_scale <= 0:
+            raise ValueError("generator_output_scale must be positive")
+        if self.loss_type not in ("wasserstein", "vanilla"):
+            raise ValueError("loss_type must be 'wasserstein' or 'vanilla'")
+
+    def validate_for_length(self, max_length: int) -> None:
+        """Check S divides the (padded) series length, as §4.1.1 requires."""
+        if max_length % self.sample_len != 0:
+            raise ValueError(
+                f"sample_len S={self.sample_len} must divide the padded "
+                f"series length {max_length}")
+
+    @staticmethod
+    def recommended_sample_len(max_length: int, target_passes: int = 50
+                               ) -> int:
+        """The §4.4 recommendation: pick S so that T/S ≈ ``target_passes``."""
+        best = 1
+        for s in range(1, max_length + 1):
+            if max_length % s:
+                continue
+            if abs(max_length / s - target_passes) < abs(
+                    max_length / best - target_passes):
+                best = s
+        return best

@@ -1,0 +1,66 @@
+"""DoppelGANger discriminators (§4.2).
+
+Both are MLP critics (no output activation -- Wasserstein loss):
+
+- :class:`Discriminator` scores the whole object
+  ``[attributes, minmax, flattened features+flags]``.
+- :class:`AuxiliaryDiscriminator` scores only ``[attributes, minmax]``; the
+  paper introduces it purely to improve fidelity on long objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import MLP, Module, Tensor, ops
+
+__all__ = ["Discriminator", "AuxiliaryDiscriminator"]
+
+
+class Discriminator(Module):
+    """MLP critic over the full flattened object."""
+
+    def __init__(self, attribute_dim: int, minmax_dim: int, feature_dim: int,
+                 max_length: int, hidden: tuple[int, ...],
+                 rng: np.random.Generator):
+        self.attribute_dim = attribute_dim
+        self.minmax_dim = minmax_dim
+        self.feature_dim = feature_dim
+        self.max_length = max_length
+        in_dim = attribute_dim + minmax_dim + feature_dim * max_length
+        self.input_dim = in_dim
+        self.mlp = MLP(in_dim, list(hidden), 1, rng=rng)
+
+    def forward(self, flat: Tensor) -> Tensor:
+        """Score pre-flattened objects, shape (B, input_dim) -> (B, 1)."""
+        return self.mlp(flat)
+
+    def flatten(self, attributes: Tensor, minmax: Tensor,
+                features: Tensor) -> Tensor:
+        """Assemble the critic input from its three parts."""
+        batch = attributes.shape[0]
+        parts = [attributes]
+        if self.minmax_dim:
+            parts.append(minmax)
+        parts.append(ops.reshape(features,
+                                 (batch, self.feature_dim * self.max_length)))
+        return ops.concat(parts, axis=1)
+
+
+class AuxiliaryDiscriminator(Module):
+    """MLP critic over attributes (+ min/max attributes) only."""
+
+    def __init__(self, attribute_dim: int, minmax_dim: int,
+                 hidden: tuple[int, ...], rng: np.random.Generator):
+        self.attribute_dim = attribute_dim
+        self.minmax_dim = minmax_dim
+        self.input_dim = attribute_dim + minmax_dim
+        self.mlp = MLP(self.input_dim, list(hidden), 1, rng=rng)
+
+    def forward(self, flat: Tensor) -> Tensor:
+        return self.mlp(flat)
+
+    def flatten(self, attributes: Tensor, minmax: Tensor) -> Tensor:
+        if self.minmax_dim:
+            return ops.concat([attributes, minmax], axis=1)
+        return attributes

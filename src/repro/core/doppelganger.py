@@ -1,0 +1,361 @@
+"""Public DoppelGANger API.
+
+Implements the workflow of Figure 2: the data holder fits the model on a
+:class:`~repro.data.dataset.TimeSeriesDataset`, saves the parameters, and
+the data consumer loads them to generate any desired quantity of synthetic
+data -- optionally with a chosen attribute distribution (flexibility, §5.2)
+or an obfuscated one (business-secret privacy, §5.3.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+
+from repro.core.config import DGConfig, DPTrainingConfig
+from repro.core.discriminator import AuxiliaryDiscriminator, Discriminator
+from repro.core.generator import (AttributeGenerator, FeatureGenerator,
+                                  MinMaxGenerator, OutputBlock,
+                                  continuous_kind)
+from repro.core.trainer import DGTrainer, TrainingHistory
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.encoding import DataEncoder
+from repro.data.schema import DataSchema, schema_from_dict, schema_to_dict
+from repro.nn import Tensor, grad, no_grad
+
+__all__ = ["DoppelGANger"]
+
+
+class DoppelGANger:
+    """The DoppelGANger generative model (Figure 6).
+
+    Typical use::
+
+        model = DoppelGANger(schema, DGConfig(sample_len=5, iterations=400))
+        model.fit(train_data)
+        synthetic = model.generate(10_000)
+    """
+
+    def __init__(self, schema: DataSchema, config: DGConfig | None = None):
+        self.schema = schema
+        self.config = config or DGConfig()
+        self.config.validate_for_length(schema.max_length)
+        self.encoder = DataEncoder(
+            schema, auto_normalize=self.config.use_minmax_generator,
+            target_range=self.config.target_range)
+        self._rng = np.random.default_rng(self.config.seed)
+        self._built = False
+        self.history: TrainingHistory | None = None
+
+    # -- construction ------------------------------------------------------
+    def _attribute_blocks(self) -> list[OutputBlock]:
+        kind = continuous_kind(self.config.target_range)
+        return [OutputBlock(f.dimension, "softmax" if f.is_categorical
+                            else kind)
+                for f in self.schema.attributes]
+
+    def _feature_blocks(self) -> list[OutputBlock]:
+        kind = continuous_kind(self.config.target_range)
+        return [OutputBlock(f.dimension, "softmax" if f.is_categorical
+                            else kind)
+                for f in self.schema.features]
+
+    def _build(self) -> None:
+        cfg = self.config
+        rng = self._rng
+        attr_dim = self.encoder.attribute_dim
+        mm_dim = self.encoder.minmax_dim
+        feat_dim = self.encoder.feature_dim  # includes the 2 flag channels
+        self.attribute_generator = AttributeGenerator(
+            self._attribute_blocks(), cfg.attribute_noise_dim,
+            cfg.attribute_hidden, rng,
+            logit_bound=cfg.generator_logit_bound)
+        self.minmax_generator = MinMaxGenerator(
+            attr_dim, mm_dim, cfg.attribute_noise_dim, cfg.minmax_hidden,
+            cfg.target_range, rng,
+            logit_bound=cfg.generator_logit_bound)
+        self.feature_generator = FeatureGenerator(
+            attr_dim, mm_dim, self._feature_blocks(),
+            self.schema.max_length, cfg.sample_len, cfg.feature_noise_dim,
+            cfg.feature_rnn_units, cfg.feature_mlp_hidden, rng,
+            logit_bound=cfg.generator_logit_bound)
+        self.discriminator = Discriminator(
+            attr_dim, mm_dim, feat_dim, self.schema.max_length,
+            cfg.discriminator_hidden, rng)
+        if cfg.generator_output_scale != 1.0:
+            heads = [self.feature_generator.head]
+            if attr_dim:
+                heads.append(self.attribute_generator.mlp)
+            if mm_dim:
+                heads.append(self.minmax_generator.mlp)
+            for mlp in heads:
+                mlp.layers[-1].weight.data *= cfg.generator_output_scale
+        self.aux_discriminator = None
+        if cfg.use_auxiliary_discriminator:
+            self.aux_discriminator = AuxiliaryDiscriminator(
+                attr_dim, mm_dim, cfg.aux_discriminator_hidden, rng)
+        self.trainer = DGTrainer(
+            self.attribute_generator, self.minmax_generator,
+            self.feature_generator, self.discriminator,
+            self.aux_discriminator, cfg, rng)
+        self._built = True
+
+    # -- training ------------------------------------------------------------
+    def fit(self, dataset: TimeSeriesDataset,
+            iterations: int | None = None, log_every: int = 50,
+            callback=None, checkpoint_path=None,
+            keep_best_by=None) -> TrainingHistory:
+        """Train on a raw dataset (encoder is fit here too).
+
+        Args:
+            dataset: Training data matching the model schema.
+            iterations: Override the configured iteration count.
+            log_every: History/callback cadence (in iterations).
+            callback: Optional ``callback(iteration, history)``.
+            checkpoint_path: If given, the full model is saved here at
+                every logging point (and at the end), so long CPU runs can
+                be inspected or resumed via :meth:`load`.
+            keep_best_by: Optional scoring function
+                ``f(model) -> float`` (lower is better) evaluated at each
+                logging point; on completion the generator weights of the
+                best-scoring snapshot are restored.  GAN sample quality is
+                not monotone in training time (the paper's Figure 33), so
+                selecting the best snapshot by a fidelity metric -- e.g.
+                autocorrelation MSE against the training data -- is often
+                better than taking the final iterate.
+        """
+        if dataset.schema != self.schema:
+            raise ValueError("dataset schema does not match model schema")
+        self.encoder.fit(dataset)
+        if not self._built:
+            self._build()
+        encoded = self.encoder.transform(dataset)
+
+        best = {"score": np.inf, "state": None}
+
+        def wrapped(iteration, history):
+            if callback is not None:
+                callback(iteration, history)
+            if keep_best_by is not None:
+                score = float(keep_best_by(self))
+                if score < best["score"]:
+                    best["score"] = score
+                    best["state"] = {
+                        name: module.state_dict()
+                        for name, module in self._generator_modules().items()
+                    }
+            if checkpoint_path is not None:
+                self.save(checkpoint_path)
+
+        use_wrapper = (callback is not None or keep_best_by is not None
+                       or checkpoint_path is not None)
+        self.history = self.trainer.train(
+            encoded, iterations=iterations, log_every=log_every,
+            callback=wrapped if use_wrapper else None)
+        if best["state"] is not None:
+            for name, module in self._generator_modules().items():
+                module.load_state_dict(best["state"][name])
+        if checkpoint_path is not None:
+            self.save(checkpoint_path)
+        return self.history
+
+    def _generator_modules(self) -> dict:
+        modules = {"feature_generator": self.feature_generator}
+        if self.encoder.attribute_dim:
+            modules["attribute_generator"] = self.attribute_generator
+        if self.encoder.minmax_dim:
+            modules["minmax_generator"] = self.minmax_generator
+        return modules
+
+    # -- generation --------------------------------------------------------------
+    def generate(self, n: int, rng: np.random.Generator | None = None,
+                 attributes: np.ndarray | None = None) -> TimeSeriesDataset:
+        """Sample ``n`` synthetic objects.
+
+        Args:
+            n: Number of objects to generate.
+            rng: Optional generator for reproducible sampling.
+            attributes: Optional raw attribute rows (n, m) to condition on
+                (the "desired attribute distribution" input of §3.1).
+        """
+        attrs, minmax, features = self.generate_encoded(n, rng=rng,
+                                                        attributes=attributes)
+        return self.encoder.inverse(attrs, minmax, features)
+
+    def generate_encoded(self, n: int,
+                         rng: np.random.Generator | None = None,
+                         attributes: np.ndarray | None = None
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample in the encoded space (used by metrics and tests)."""
+        self._require_trained()
+        if attributes is not None and len(attributes) != n:
+            raise ValueError("attributes must have n rows")
+        sampler = self.trainer
+        previous_rng = sampler.rng
+        if rng is not None:
+            sampler.rng = rng
+        try:
+            chunks_a, chunks_m, chunks_f = [], [], []
+            done = 0
+            while done < n:
+                batch = min(self.config.batch_size, n - done)
+                cond = None
+                if attributes is not None:
+                    cond = Tensor(self.encoder.encode_attributes(
+                        attributes[done:done + batch]))
+                with no_grad():
+                    a, m, f = sampler.generate_batch(batch, attributes=cond)
+                chunks_a.append(a.data)
+                chunks_m.append(m.data)
+                chunks_f.append(f.data)
+                done += batch
+            return (np.concatenate(chunks_a), np.concatenate(chunks_m),
+                    np.concatenate(chunks_f))
+        finally:
+            sampler.rng = previous_rng
+
+    # -- flexibility / attribute privacy (§5.2, §5.3.2) -----------------------
+    def retrain_attribute_generator(
+            self, target_attributes: np.ndarray, iterations: int = 200,
+            rng: np.random.Generator | None = None) -> list[float]:
+        """Re-train only the attribute generator towards a new distribution.
+
+        Per §5.2: generated attribute vectors are fed to the discriminators
+        with the time series inputs zeroed, adversarially against "real"
+        attribute rows drawn from the caller's target distribution.  The
+        feature generator is untouched, so P(features | attributes) is
+        preserved.
+
+        Args:
+            target_attributes: Raw attribute rows sampled from the desired
+                distribution (any number of rows; batches are resampled).
+            iterations: Adversarial update rounds.
+            rng: Optional randomness source.
+
+        Returns:
+            The generator loss trace.
+        """
+        self._require_trained()
+        rng = rng or self._rng
+        encoded_target = self.encoder.encode_attributes(target_attributes)
+        cfg = self.config
+        from repro.nn import Adam  # local import to avoid cycle at top
+        attr_params = self.attribute_generator.parameters()
+        disc_params = self.discriminator.parameters()
+        if self.aux_discriminator is not None:
+            disc_params = disc_params + self.aux_discriminator.parameters()
+        g_opt = Adam(attr_params, lr=cfg.learning_rate, betas=cfg.adam_betas)
+        d_opt = Adam(disc_params, lr=cfg.learning_rate, betas=cfg.adam_betas)
+
+        from repro.core.losses import critic_loss, generator_loss
+
+        batch = min(cfg.batch_size, len(encoded_target))
+        mm_dim = self.encoder.minmax_dim
+        feat_dim = self.encoder.feature_dim
+        tmax = self.schema.max_length
+        zeros_mm = Tensor(np.zeros((batch, mm_dim)))
+        zeros_feat = Tensor(np.zeros((batch, tmax, feat_dim)))
+        losses = []
+        for _ in range(iterations):
+            idx = rng.integers(0, len(encoded_target), size=batch)
+            real_attr = Tensor(encoded_target[idx])
+            with no_grad():
+                z = self.attribute_generator.sample_noise(batch, rng)
+                fake_attr_const = Tensor(self.attribute_generator(z).data)
+            # Critic update on (attr, zero minmax, zero features).
+            real_flat = self.discriminator.flatten(real_attr, zeros_mm,
+                                                   zeros_feat)
+            fake_flat = self.discriminator.flatten(fake_attr_const, zeros_mm,
+                                                   zeros_feat)
+            d_loss = critic_loss(self.discriminator, real_flat, fake_flat,
+                                 cfg.gradient_penalty_weight, rng)
+            if self.aux_discriminator is not None:
+                d_loss = d_loss + Tensor(cfg.aux_discriminator_weight) * \
+                    critic_loss(
+                        self.aux_discriminator,
+                        self.aux_discriminator.flatten(real_attr, zeros_mm),
+                        self.aux_discriminator.flatten(fake_attr_const,
+                                                       zeros_mm),
+                        cfg.gradient_penalty_weight, rng)
+            d_opt.step(grad(d_loss, disc_params, allow_unused=True))
+            # Generator update.
+            z = self.attribute_generator.sample_noise(batch, rng)
+            fake_attr = self.attribute_generator(z)
+            flat = self.discriminator.flatten(fake_attr, zeros_mm, zeros_feat)
+            g_loss = generator_loss(self.discriminator, flat)
+            if self.aux_discriminator is not None:
+                g_loss = g_loss + Tensor(cfg.aux_discriminator_weight) * \
+                    generator_loss(
+                        self.aux_discriminator,
+                        self.aux_discriminator.flatten(fake_attr, zeros_mm))
+            g_opt.step(grad(g_loss, attr_params, allow_unused=True))
+            losses.append(g_loss.item())
+        return losses
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist schema, config, encoder state, and all weights (npz)."""
+        self._require_trained()
+        meta = {
+            "schema": schema_to_dict(self.schema),
+            "config": _config_to_dict(self.config),
+            "encoder": self.encoder.state(),
+        }
+        arrays = {"__meta__": np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8)}
+        modules = self._named_modules()
+        for prefix, module in modules.items():
+            for name, value in module.state_dict().items():
+                arrays[f"{prefix}::{name}"] = value
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path) -> "DoppelGANger":
+        """Restore a model saved by :meth:`save`."""
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["__meta__"].tobytes()).decode())
+            weights = {key: archive[key] for key in archive.files
+                       if key != "__meta__"}
+        schema = schema_from_dict(meta["schema"])
+        config = _config_from_dict(meta["config"])
+        model = cls(schema, config)
+        model.encoder.load_state(meta["encoder"])
+        model._build()
+        for prefix, module in model._named_modules().items():
+            state = {name.split("::", 1)[1]: value
+                     for name, value in weights.items()
+                     if name.startswith(prefix + "::")}
+            module.load_state_dict(state)
+        return model
+
+    def _named_modules(self) -> dict:
+        modules = {
+            "attribute_generator": self.attribute_generator,
+            "minmax_generator": self.minmax_generator,
+            "feature_generator": self.feature_generator,
+            "discriminator": self.discriminator,
+        }
+        if self.aux_discriminator is not None:
+            modules["aux_discriminator"] = self.aux_discriminator
+        return modules
+
+    def _require_trained(self) -> None:
+        if not self._built:
+            raise RuntimeError("model has not been fit() yet")
+
+
+def _config_to_dict(config: DGConfig) -> dict:
+    data = dataclasses.asdict(config)
+    return data
+
+
+def _config_from_dict(data: dict) -> DGConfig:
+    data = dict(data)
+    dp = data.pop("dp", None)
+    config = DGConfig(**{k: tuple(v) if isinstance(v, list) else v
+                         for k, v in data.items()})
+    if dp is not None:
+        config.dp = DPTrainingConfig(**dp)
+    return config

@@ -1,0 +1,216 @@
+"""Adversarial training loop for DoppelGANger (§4.3, §4.4).
+
+Alternates critic and generator updates with the combined two-discriminator
+loss of Eq. 2.  Optionally applies DP-SGD (per-microbatch clipping + noise)
+to the discriminator updates, which are the only updates that touch real
+data -- this is the §5.3.1 experiment substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import DGConfig
+from repro.core.discriminator import AuxiliaryDiscriminator, Discriminator
+from repro.core.generator import (AttributeGenerator, FeatureGenerator,
+                                  MinMaxGenerator)
+from repro.core.losses import (critic_loss, generator_loss,
+                               vanilla_discriminator_loss,
+                               vanilla_generator_loss)
+from repro.data.encoding import EncodedDataset
+from repro.nn import Adam, DPGradientProcessor, Tensor, grad, no_grad
+from repro.nn.optim import clip_grad_norm
+
+__all__ = ["TrainingHistory", "DGTrainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Loss traces recorded during training."""
+
+    iterations: list[int] = field(default_factory=list)
+    d_loss: list[float] = field(default_factory=list)
+    g_loss: list[float] = field(default_factory=list)
+    wasserstein: list[float] = field(default_factory=list)
+
+    def record(self, iteration: int, d_loss: float, g_loss: float,
+               wasserstein: float) -> None:
+        self.iterations.append(iteration)
+        self.d_loss.append(d_loss)
+        self.g_loss.append(g_loss)
+        self.wasserstein.append(wasserstein)
+
+
+class DGTrainer:
+    """Owns the optimizers and runs the alternating GAN updates."""
+
+    def __init__(self, attribute_generator: AttributeGenerator,
+                 minmax_generator: MinMaxGenerator,
+                 feature_generator: FeatureGenerator,
+                 discriminator: Discriminator,
+                 aux_discriminator: AuxiliaryDiscriminator | None,
+                 config: DGConfig, rng: np.random.Generator):
+        self.attribute_generator = attribute_generator
+        self.minmax_generator = minmax_generator
+        self.feature_generator = feature_generator
+        self.discriminator = discriminator
+        self.aux_discriminator = aux_discriminator
+        self.config = config
+        self.rng = rng
+
+        self.generator_params = (attribute_generator.parameters()
+                                 + minmax_generator.parameters()
+                                 + feature_generator.parameters())
+        self.discriminator_params = discriminator.parameters()
+        if aux_discriminator is not None:
+            self.discriminator_params += aux_discriminator.parameters()
+
+        self.g_optimizer = Adam(self.generator_params,
+                                lr=config.learning_rate,
+                                betas=config.adam_betas)
+        self.d_optimizer = Adam(self.discriminator_params,
+                                lr=config.learning_rate,
+                                betas=config.adam_betas)
+        self._dp_processor = None
+        if config.dp is not None:
+            self._dp_processor = DPGradientProcessor(
+                l2_norm_clip=config.dp.l2_norm_clip,
+                noise_multiplier=config.dp.noise_multiplier,
+                rng=rng)
+
+    # -- sampling ------------------------------------------------------------
+    def generate_batch(self, batch: int,
+                       attributes: Tensor | None = None
+                       ) -> tuple[Tensor, Tensor, Tensor]:
+        """Run the full generator stack; returns (attrs, minmax, features)."""
+        if attributes is None:
+            z_a = self.attribute_generator.sample_noise(batch, self.rng)
+            attributes = self.attribute_generator(z_a)
+        z_m = self.minmax_generator.sample_noise(batch, self.rng)
+        minmax = self.minmax_generator(attributes, z_m)
+        z_f = self.feature_generator.sample_noise(batch, self.rng)
+        features = self.feature_generator(attributes, minmax, z_f)
+        return attributes, minmax, features
+
+    def _real_batch(self, data: EncodedDataset, batch: int
+                    ) -> tuple[Tensor, Tensor, Tensor]:
+        idx = self.rng.integers(0, len(data), size=batch)
+        return (Tensor(data.attributes[idx]), Tensor(data.minmax[idx]),
+                Tensor(data.features[idx]))
+
+    # -- loss assembly ---------------------------------------------------------
+    def _one_critic_loss(self, critic, real_flat, fake_flat) -> Tensor:
+        if self.config.loss_type == "vanilla":
+            return vanilla_discriminator_loss(critic, real_flat, fake_flat)
+        return critic_loss(critic, real_flat, fake_flat,
+                           self.config.gradient_penalty_weight, self.rng)
+
+    def _one_generator_loss(self, critic, fake_flat) -> Tensor:
+        if self.config.loss_type == "vanilla":
+            return vanilla_generator_loss(critic, fake_flat)
+        return generator_loss(critic, fake_flat)
+
+    def _combined_critic_loss(self, real, fake) -> Tensor:
+        real_attr, real_mm, real_feat = real
+        fake_attr, fake_mm, fake_feat = fake
+        real_flat = self.discriminator.flatten(real_attr, real_mm, real_feat)
+        fake_flat = self.discriminator.flatten(fake_attr, fake_mm, fake_feat)
+        loss = self._one_critic_loss(self.discriminator, real_flat,
+                                     fake_flat)
+        if self.aux_discriminator is not None:
+            real_aux = self.aux_discriminator.flatten(real_attr, real_mm)
+            fake_aux = self.aux_discriminator.flatten(fake_attr, fake_mm)
+            aux = self._one_critic_loss(self.aux_discriminator, real_aux,
+                                        fake_aux)
+            loss = loss + Tensor(self.config.aux_discriminator_weight) * aux
+        return loss
+
+    def _combined_generator_loss(self, fake) -> Tensor:
+        fake_attr, fake_mm, fake_feat = fake
+        fake_flat = self.discriminator.flatten(fake_attr, fake_mm, fake_feat)
+        loss = self._one_generator_loss(self.discriminator, fake_flat)
+        if self.aux_discriminator is not None:
+            fake_aux = self.aux_discriminator.flatten(fake_attr, fake_mm)
+            loss = loss + Tensor(self.config.aux_discriminator_weight) * \
+                self._one_generator_loss(self.aux_discriminator, fake_aux)
+        return loss
+
+    # -- update steps ----------------------------------------------------------
+    def discriminator_step(self, data: EncodedDataset) -> tuple[float, float]:
+        """One critic update; returns (loss, wasserstein estimate)."""
+        batch = min(self.config.batch_size, len(data))
+        with no_grad():
+            fake = self.generate_batch(batch)
+        fake = tuple(Tensor(part.data) for part in fake)
+        real = self._real_batch(data, batch)
+
+        if self._dp_processor is not None:
+            return self._dp_discriminator_step(real, fake)
+
+        loss = self._combined_critic_loss(real, fake)
+        grads = grad(loss, self.discriminator_params, allow_unused=True)
+        if self.config.gradient_clip_norm is not None:
+            clip_grad_norm(grads, self.config.gradient_clip_norm)
+        self.d_optimizer.step(grads)
+        with no_grad():
+            w = self._wasserstein_estimate(real, fake)
+        return loss.item(), w
+
+    def _dp_discriminator_step(self, real, fake) -> tuple[float, float]:
+        """Critic update with per-microbatch clipping + Gaussian noise."""
+        size = self.config.dp.microbatch_size
+        batch = real[0].shape[0]
+        per_microbatch = []
+        losses = []
+        for start in range(0, batch, size):
+            sl = slice(start, min(start + size, batch))
+            real_mb = tuple(Tensor(part.data[sl]) for part in real)
+            fake_mb = tuple(Tensor(part.data[sl]) for part in fake)
+            loss = self._combined_critic_loss(real_mb, fake_mb)
+            grads = grad(loss, self.discriminator_params, allow_unused=True)
+            zeros = [np.zeros_like(p.data) for p in self.discriminator_params]
+            arrays = [g.data if g is not None else z
+                      for g, z in zip(grads, zeros)]
+            per_microbatch.append(arrays)
+            losses.append(loss.item())
+        noised = self._dp_processor.aggregate(per_microbatch)
+        self.d_optimizer.step(noised)
+        with no_grad():
+            w = self._wasserstein_estimate(real, fake)
+        return float(np.mean(losses)), w
+
+    def generator_step(self) -> float:
+        """One generator update through both critics."""
+        fake = self.generate_batch(self.config.batch_size)
+        loss = self._combined_generator_loss(fake)
+        grads = grad(loss, self.generator_params, allow_unused=True)
+        if self.config.gradient_clip_norm is not None:
+            clip_grad_norm(grads, self.config.gradient_clip_norm)
+        self.g_optimizer.step(grads)
+        return loss.item()
+
+    def _wasserstein_estimate(self, real, fake) -> float:
+        real_flat = self.discriminator.flatten(*real)
+        fake_flat = self.discriminator.flatten(*fake)
+        return float(self.discriminator(real_flat).mean().item()
+                     - self.discriminator(fake_flat).mean().item())
+
+    # -- full loop ---------------------------------------------------------------
+    def train(self, data: EncodedDataset, iterations: int | None = None,
+              log_every: int = 50,
+              callback=None) -> TrainingHistory:
+        """Run the alternating loop for ``iterations`` generator updates."""
+        iterations = iterations or self.config.iterations
+        history = TrainingHistory()
+        for it in range(iterations):
+            d_loss = w = 0.0
+            for _ in range(self.config.discriminator_steps):
+                d_loss, w = self.discriminator_step(data)
+            g_loss = self.generator_step()
+            if it % log_every == 0 or it == iterations - 1:
+                history.record(it, d_loss, g_loss, w)
+                if callback is not None:
+                    callback(it, history)
+        return history

@@ -1,0 +1,15 @@
+"""Dataset abstraction (§3), encoding, splits, and the three simulators."""
+
+from repro.data.dataset import TimeSeriesDataset, generation_flags, padding_mask
+from repro.data.encoding import DataEncoder, EncodedDataset
+from repro.data.resampling import aggregate_time
+from repro.data.schema import (CategoricalSpec, ContinuousSpec, DataSchema,
+                               FieldSpec)
+from repro.data.splits import EvaluationSplit, make_split, synthesize_split
+
+__all__ = [
+    "TimeSeriesDataset", "generation_flags", "padding_mask",
+    "DataEncoder", "EncodedDataset", "aggregate_time",
+    "CategoricalSpec", "ContinuousSpec", "DataSchema", "FieldSpec",
+    "EvaluationSplit", "make_split", "synthesize_split",
+]

@@ -1,0 +1,147 @@
+"""The dataset abstraction of §3: objects = (attributes, feature time series).
+
+A :class:`TimeSeriesDataset` stores *raw* (unencoded) values:
+
+- ``attributes``: per-object attribute values. Categorical attributes are
+  stored as integer category indices; continuous ones as floats.  Shape
+  (n, m) float array (integer indices stored as floats).
+- ``features``: per-object, per-step feature values, zero-padded to
+  ``schema.max_length``.  Shape (n, T_max, K_raw) where K_raw counts raw
+  columns (categorical features stored as a single index column).
+- ``lengths``: the true length T^i of each series.
+
+Encoding to the training representation (one-hot + normalisation + the
+generation flags of §4.1.1) is done by :mod:`repro.data.encoding`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import DataSchema, schema_from_dict, schema_to_dict
+
+__all__ = ["TimeSeriesDataset", "generation_flags", "padding_mask"]
+
+
+@dataclass
+class TimeSeriesDataset:
+    """A set of objects O_i = (A_i, R_i) under a shared schema."""
+
+    schema: DataSchema
+    attributes: np.ndarray
+    features: np.ndarray
+    lengths: np.ndarray
+
+    def __post_init__(self):
+        self.attributes = np.asarray(self.attributes, dtype=np.float64)
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.lengths = np.asarray(self.lengths, dtype=np.int64)
+        n = len(self.attributes)
+        if self.attributes.ndim != 2:
+            raise ValueError("attributes must be 2-D (objects x fields)")
+        if self.attributes.shape[1] != len(self.schema.attributes):
+            raise ValueError(
+                f"attributes have {self.attributes.shape[1]} columns, schema "
+                f"declares {len(self.schema.attributes)} attribute fields")
+        if self.features.shape[0] != n or self.lengths.shape[0] != n:
+            raise ValueError("attributes, features, lengths must agree on n")
+        if self.features.ndim != 3:
+            raise ValueError("features must be 3-D (objects x time x fields)")
+        if self.features.shape[1] != self.schema.max_length:
+            raise ValueError(
+                f"features padded to {self.features.shape[1]} steps, schema "
+                f"says max_length={self.schema.max_length}")
+        if self.features.shape[2] != len(self.schema.features):
+            raise ValueError(
+                f"features have {self.features.shape[2]} columns, schema "
+                f"declares {len(self.schema.features)} feature fields")
+        if (self.lengths < 1).any() or (self.lengths >
+                                        self.schema.max_length).any():
+            raise ValueError("lengths must be in [1, max_length]")
+        # Enforce the paper's padding convention: zeros past the end.
+        mask = padding_mask(self.lengths, self.schema.max_length)
+        self.features = self.features * mask[:, :, None]
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    def __getitem__(self, index) -> "TimeSeriesDataset":
+        """Subset of objects (integer-array or slice indexing)."""
+        if isinstance(index, (int, np.integer)):
+            index = [int(index)]
+        return TimeSeriesDataset(
+            schema=self.schema,
+            attributes=self.attributes[index],
+            features=self.features[index],
+            lengths=self.lengths[index],
+        )
+
+    def subsample(self, n: int, rng: np.random.Generator) -> "TimeSeriesDataset":
+        """Uniformly subsample ``n`` objects without replacement."""
+        if n > len(self):
+            raise ValueError(f"cannot subsample {n} of {len(self)} objects")
+        idx = rng.choice(len(self), size=n, replace=False)
+        return self[idx]
+
+    def attribute_column(self, name: str) -> np.ndarray:
+        """Raw values of one attribute across all objects."""
+        names = [f.name for f in self.schema.attributes]
+        return self.attributes[:, names.index(name)]
+
+    def feature_column(self, name: str) -> np.ndarray:
+        """Raw values of one feature, shape (n, T_max)."""
+        names = [f.name for f in self.schema.features]
+        return self.features[:, :, names.index(name)]
+
+    def save(self, path) -> None:
+        """Persist the dataset (arrays + schema) as an npz archive."""
+        meta = json.dumps(schema_to_dict(self.schema)).encode("utf-8")
+        np.savez(path, __schema__=np.frombuffer(meta, dtype=np.uint8),
+                 attributes=self.attributes, features=self.features,
+                 lengths=self.lengths)
+
+    @classmethod
+    def load(cls, path) -> "TimeSeriesDataset":
+        """Restore a dataset saved by :meth:`save`."""
+        with np.load(path) as archive:
+            schema = schema_from_dict(json.loads(
+                bytes(archive["__schema__"].tobytes()).decode("utf-8")))
+            return cls(schema=schema, attributes=archive["attributes"],
+                       features=archive["features"],
+                       lengths=archive["lengths"])
+
+    def concat(self, other: "TimeSeriesDataset") -> "TimeSeriesDataset":
+        if other.schema is not self.schema and other.schema != self.schema:
+            raise ValueError("cannot concat datasets with different schemas")
+        return TimeSeriesDataset(
+            schema=self.schema,
+            attributes=np.concatenate([self.attributes, other.attributes]),
+            features=np.concatenate([self.features, other.features]),
+            lengths=np.concatenate([self.lengths, other.lengths]),
+        )
+
+
+def padding_mask(lengths: np.ndarray, max_length: int) -> np.ndarray:
+    """Boolean-as-float mask, 1 for valid steps and 0 for padding."""
+    steps = np.arange(max_length)
+    return (steps[None, :] < np.asarray(lengths)[:, None]).astype(np.float64)
+
+
+def generation_flags(lengths: np.ndarray, max_length: int) -> np.ndarray:
+    """The per-step generation flags of §4.1.1, shape (n, T_max, 2).
+
+    Within a series the flag is [1, 0]; at the final step it is [0, 1];
+    after the end both channels are zero-padded (like the features).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    n = len(lengths)
+    flags = np.zeros((n, max_length, 2), dtype=np.float64)
+    mask = padding_mask(lengths, max_length).astype(bool)
+    flags[:, :, 0][mask] = 1.0
+    rows = np.arange(n)
+    flags[rows, lengths - 1, 0] = 0.0
+    flags[rows, lengths - 1, 1] = 1.0
+    return flags

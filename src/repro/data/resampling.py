@@ -1,0 +1,87 @@
+"""Time aggregation of datasets (the paper's Appendix-A preprocessing).
+
+The paper's MBA pipeline averages hourly measurements into 6-hour bins to
+increase the number of valid objects.  :func:`aggregate_time` implements
+that preprocessing generically: it merges every ``factor`` consecutive
+steps into one, with a configurable aggregation per continuous feature
+(categorical features take the first value of each bin).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset, padding_mask
+from repro.data.schema import DataSchema
+
+__all__ = ["aggregate_time"]
+
+_AGGREGATIONS = ("mean", "sum", "max")
+
+
+def aggregate_time(dataset: TimeSeriesDataset, factor: int,
+                   how: str = "mean") -> TimeSeriesDataset:
+    """Merge every ``factor`` consecutive time steps into one.
+
+    Args:
+        dataset: The source dataset.
+        factor: Number of original steps per aggregated bin (>= 1).
+        how: Aggregation for continuous features over each bin's *valid*
+            steps ("mean", "sum", or "max").  Categorical features take
+            the bin's first valid value.
+
+    Returns:
+        A new dataset whose schema has ``max_length = ceil(T / factor)``
+        and whose lengths are ``ceil(length / factor)``.  A trailing
+        partial bin aggregates only the steps it covers.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if how not in _AGGREGATIONS:
+        raise ValueError(f"how must be one of {_AGGREGATIONS}")
+    if factor == 1:
+        return dataset
+
+    n = len(dataset)
+    t_old = dataset.schema.max_length
+    t_new = -(-t_old // factor)  # ceil division
+    pad_to = t_new * factor
+    mask = np.zeros((n, pad_to))
+    mask[:, :t_old] = padding_mask(dataset.lengths, t_old)
+    binned_mask = mask.reshape(n, t_new, factor)
+    counts = binned_mask.sum(axis=2)  # valid steps per bin
+
+    new_features = np.zeros((n, t_new, len(dataset.schema.features)))
+    for j, spec in enumerate(dataset.schema.features):
+        column = np.zeros((n, pad_to))
+        column[:, :t_old] = dataset.features[:, :, j]
+        binned = column.reshape(n, t_new, factor)
+        if spec.is_categorical:
+            # First valid value of each bin.
+            first_idx = binned_mask.argmax(axis=2)
+            rows = np.arange(n)[:, None]
+            bins = np.arange(t_new)[None, :]
+            new_features[:, :, j] = binned[rows, bins, first_idx]
+            continue
+        if how == "mean":
+            with np.errstate(invalid="ignore"):
+                values = (binned * binned_mask).sum(axis=2) / \
+                    np.maximum(counts, 1)
+        elif how == "sum":
+            values = (binned * binned_mask).sum(axis=2)
+        else:
+            values = np.where(binned_mask > 0, binned, -np.inf).max(axis=2)
+            values[counts == 0] = 0.0
+        new_features[:, :, j] = values
+    new_features[counts == 0] = 0.0
+
+    new_lengths = -(-dataset.lengths // factor)
+    period = dataset.schema.collection_period
+    schema = DataSchema(
+        attributes=dataset.schema.attributes,
+        features=dataset.schema.features,
+        max_length=t_new,
+        collection_period=(f"{factor} x {period}" if period else None),
+    )
+    return TimeSeriesDataset(schema=schema, attributes=dataset.attributes,
+                             features=new_features, lengths=new_lengths)

@@ -1,0 +1,199 @@
+"""Dataset schema declarations (§3.1 of the paper).
+
+DoppelGANger needs to know, for every attribute and feature, its
+dimensionality and whether it is categorical or continuous; plus optional
+collection metadata (the time scale the series was sampled at).  This module
+provides those declarations; Tables 5-7 of the paper are expressed with them
+in :mod:`repro.data.simulators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["CategoricalSpec", "ContinuousSpec", "FieldSpec", "DataSchema",
+           "schema_to_dict", "schema_from_dict"]
+
+
+@dataclass(frozen=True)
+class CategoricalSpec:
+    """A categorical field taking one of ``categories`` values."""
+
+    name: str
+    categories: tuple[str, ...]
+
+    def __post_init__(self):
+        if len(self.categories) < 2:
+            raise ValueError(f"categorical field {self.name!r} needs >= 2 "
+                             "categories")
+        if len(set(self.categories)) != len(self.categories):
+            raise ValueError(f"categorical field {self.name!r} has duplicate "
+                             "categories")
+        object.__setattr__(self, "categories", tuple(self.categories))
+
+    @property
+    def dimension(self) -> int:
+        return len(self.categories)
+
+    @property
+    def is_categorical(self) -> bool:
+        return True
+
+    def index_of(self, category: str) -> int:
+        try:
+            return self.categories.index(category)
+        except ValueError:
+            raise KeyError(
+                f"{category!r} is not a category of field {self.name!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ContinuousSpec:
+    """A scalar continuous field, optionally with known bounds.
+
+    ``normalization`` chooses the target range features are scaled to before
+    training ("zero_one" -> sigmoid output, "minus_one_one" -> tanh output),
+    matching Appendix B of the paper.
+
+    ``log_transform`` encodes the field as ``log1p(x)`` before
+    normalisation (and decodes with ``expm1``).  Heavy-tailed network
+    measurements (byte counters, page views) squeeze almost all encoded
+    mass near 0 under linear scaling, which starves the GAN gradient;
+    log encoding is the standard practitioner's remedy.
+    """
+
+    name: str
+    low: float | None = None
+    high: float | None = None
+    normalization: str = "zero_one"
+    log_transform: bool = False
+
+    def __post_init__(self):
+        if self.normalization not in ("zero_one", "minus_one_one"):
+            raise ValueError("normalization must be 'zero_one' or "
+                             "'minus_one_one'")
+        if (self.low is not None and self.high is not None
+                and self.low >= self.high):
+            raise ValueError(f"field {self.name!r}: low must be < high")
+        if self.log_transform and self.low is not None and self.low < 0:
+            raise ValueError(f"field {self.name!r}: log_transform requires "
+                             "non-negative values")
+
+    @property
+    def dimension(self) -> int:
+        return 1
+
+    @property
+    def is_categorical(self) -> bool:
+        return False
+
+
+FieldSpec = CategoricalSpec | ContinuousSpec
+
+
+@dataclass(frozen=True)
+class DataSchema:
+    """Schema of one dataset: attribute fields + feature fields.
+
+    Attributes are per-object metadata (m fields); features are the per-time
+    -step measurements (K fields).  ``max_length`` is T^i's upper bound;
+    ``collection_period`` documents the sampling timescale (optional input of
+    §3.1, used to pick the batching parameter S).
+    """
+
+    attributes: tuple[FieldSpec, ...]
+    features: tuple[FieldSpec, ...]
+    max_length: int
+    collection_period: str | None = None
+
+    def __post_init__(self):
+        if not self.features:
+            raise ValueError("schema needs at least one feature field")
+        if self.max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        names = [f.name for f in self.attributes] + [f.name for f in
+                                                     self.features]
+        if len(set(names)) != len(names):
+            raise ValueError("attribute/feature names must be unique")
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+        object.__setattr__(self, "features", tuple(self.features))
+
+    @property
+    def attribute_dimension(self) -> int:
+        """Total encoded width of the attribute vector (one-hot expanded)."""
+        return sum(f.dimension for f in self.attributes)
+
+    @property
+    def feature_dimension(self) -> int:
+        """Total encoded width of one time step (one-hot expanded)."""
+        return sum(f.dimension for f in self.features)
+
+    @property
+    def continuous_feature_count(self) -> int:
+        return sum(1 for f in self.features if not f.is_categorical)
+
+    def attribute(self, name: str) -> FieldSpec:
+        for f in self.attributes:
+            if f.name == name:
+                return f
+        raise KeyError(f"no attribute named {name!r}")
+
+    def feature(self, name: str) -> FieldSpec:
+        for f in self.features:
+            if f.name == name:
+                return f
+        raise KeyError(f"no feature named {name!r}")
+
+    def attribute_slices(self) -> dict[str, slice]:
+        """Column ranges of each attribute in the encoded attribute matrix."""
+        return _slices(self.attributes)
+
+    def feature_slices(self) -> dict[str, slice]:
+        """Column ranges of each feature in the encoded feature tensor."""
+        return _slices(self.features)
+
+
+def schema_to_dict(schema: DataSchema) -> dict:
+    """JSON-serialisable form of a schema (for model save/load)."""
+    def field_dict(f: FieldSpec) -> dict:
+        if f.is_categorical:
+            return {"kind": "categorical", "name": f.name,
+                    "categories": list(f.categories)}
+        return {"kind": "continuous", "name": f.name, "low": f.low,
+                "high": f.high, "normalization": f.normalization,
+                "log_transform": f.log_transform}
+
+    return {
+        "attributes": [field_dict(f) for f in schema.attributes],
+        "features": [field_dict(f) for f in schema.features],
+        "max_length": schema.max_length,
+        "collection_period": schema.collection_period,
+    }
+
+
+def schema_from_dict(data: dict) -> DataSchema:
+    """Inverse of :func:`schema_to_dict`."""
+    def field_from(d: dict) -> FieldSpec:
+        if d["kind"] == "categorical":
+            return CategoricalSpec(d["name"], tuple(d["categories"]))
+        return ContinuousSpec(d["name"], low=d["low"], high=d["high"],
+                              normalization=d["normalization"],
+                              log_transform=d.get("log_transform", False))
+
+    return DataSchema(
+        attributes=tuple(field_from(d) for d in data["attributes"]),
+        features=tuple(field_from(d) for d in data["features"]),
+        max_length=int(data["max_length"]),
+        collection_period=data.get("collection_period"),
+    )
+
+
+def _slices(fields: Sequence[FieldSpec]) -> dict[str, slice]:
+    out: dict[str, slice] = {}
+    offset = 0
+    for f in fields:
+        out[f.name] = slice(offset, offset + f.dimension)
+        offset += f.dimension
+    return out

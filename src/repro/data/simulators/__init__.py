@@ -1,0 +1,27 @@
+"""Synthetic equivalents of the paper's three evaluation datasets.
+
+No network access is available in this environment, so the Kaggle Wikipedia
+Web Traffic dump, the FCC MBA raw data, and the Google Cluster Usage Traces
+are replaced by simulators that reproduce the *properties the paper
+evaluates* (Table 2): temporal correlation structure, attribute/feature
+correlation, multi-dimensional features, variable lengths, wide dynamic
+range, and the schemas of Tables 5-7.
+"""
+
+from repro.data.simulators.gcut import (GCUT_END_EVENT_TYPES, GCUT_FEATURES,
+                                        generate_gcut, make_gcut_schema)
+from repro.data.simulators.mba import (MBA_ISPS, MBA_STATES,
+                                       MBA_TECHNOLOGIES, generate_mba,
+                                       make_mba_schema)
+from repro.data.simulators.wwt import (WWT_ACCESS_TYPES, WWT_AGENTS,
+                                       WWT_DOMAINS, generate_wwt,
+                                       make_wwt_schema)
+
+__all__ = [
+    "generate_wwt", "make_wwt_schema",
+    "WWT_DOMAINS", "WWT_ACCESS_TYPES", "WWT_AGENTS",
+    "generate_mba", "make_mba_schema",
+    "MBA_TECHNOLOGIES", "MBA_ISPS", "MBA_STATES",
+    "generate_gcut", "make_gcut_schema",
+    "GCUT_END_EVENT_TYPES", "GCUT_FEATURES",
+]

@@ -1,0 +1,51 @@
+"""The evaluation split protocol of Figure 10.
+
+Real data is split 50/50 into a training half A and a test half A'.  A
+generative model is trained on A and asked for equally sized synthetic sets
+B (train) and B' (test).  Downstream experiments then train predictors on A
+or B and test on A' or B'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset
+
+__all__ = ["EvaluationSplit", "make_split", "synthesize_split"]
+
+
+@dataclass
+class EvaluationSplit:
+    """Holds the four datasets of the Figure-10 protocol."""
+
+    train_real: TimeSeriesDataset       # A
+    test_real: TimeSeriesDataset        # A'
+    train_synthetic: TimeSeriesDataset | None = None   # B
+    test_synthetic: TimeSeriesDataset | None = None    # B'
+
+
+def make_split(dataset: TimeSeriesDataset,
+               rng: np.random.Generator) -> EvaluationSplit:
+    """Shuffle and split real data into equal halves A / A'."""
+    n = len(dataset)
+    if n < 2:
+        raise ValueError("need at least 2 objects to split")
+    order = rng.permutation(n)
+    half = n // 2
+    return EvaluationSplit(train_real=dataset[order[:half]],
+                           test_real=dataset[order[half:half * 2]])
+
+
+def synthesize_split(split: EvaluationSplit, model,
+                     rng: np.random.Generator) -> EvaluationSplit:
+    """Fill in B and B' by sampling a trained generative model.
+
+    ``model`` must expose ``generate(n, rng) -> TimeSeriesDataset`` (the
+    interface shared by DoppelGANger and all baselines).
+    """
+    split.train_synthetic = model.generate(len(split.train_real), rng=rng)
+    split.test_synthetic = model.generate(len(split.test_real), rng=rng)
+    return split

@@ -1,0 +1,26 @@
+"""Downstream predictive models and evaluation tasks (§5.1.1)."""
+
+from repro.downstream.classifiers import (Classifier, DecisionTreeClassifier,
+                                          GaussianNaiveBayes, LinearSVM,
+                                          LogisticRegression, MLPClassifier,
+                                          accuracy, default_classifiers)
+from repro.downstream.regressors import (KernelRidgeRegressor,
+                                         LinearRegressionModel, MLPRegressor,
+                                         Regressor, default_regressors,
+                                         r2_score)
+from repro.downstream.tasks import (RankingResult, algorithm_ranking,
+                                    event_prediction_features,
+                                    forecasting_arrays, regression_ranking,
+                                    train_real_test_real,
+                                    train_synthetic_test_real)
+
+__all__ = [
+    "Classifier", "MLPClassifier", "GaussianNaiveBayes",
+    "LogisticRegression", "DecisionTreeClassifier", "LinearSVM",
+    "accuracy", "default_classifiers",
+    "Regressor", "LinearRegressionModel", "KernelRidgeRegressor",
+    "MLPRegressor", "r2_score", "default_regressors",
+    "event_prediction_features", "forecasting_arrays",
+    "train_synthetic_test_real", "train_real_test_real",
+    "algorithm_ranking", "regression_ranking", "RankingResult",
+]

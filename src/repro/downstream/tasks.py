@@ -1,0 +1,146 @@
+"""Downstream evaluation tasks (§5.1.1).
+
+- Event-type prediction on GCUT: predict the ``end_event_type`` attribute
+  from the observed time series (Figure 11).
+- Page-view forecasting on WWT: given the first part of a series, predict
+  the remaining steps (Figure 27).
+- The train-on-X/test-on-Y harness (Figure 10) and the algorithm-comparison
+  rank-correlation protocol (Table 4, Figures 28-29).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset, padding_mask
+from repro.data.splits import EvaluationSplit
+from repro.downstream.classifiers import Classifier, accuracy
+from repro.downstream.regressors import Regressor, r2_score
+from repro.metrics.ranking import spearman_rank_correlation
+
+__all__ = [
+    "event_prediction_features", "forecasting_arrays",
+    "train_synthetic_test_real", "train_real_test_real",
+    "algorithm_ranking", "regression_ranking", "RankingResult",
+]
+
+
+def event_prediction_features(dataset: TimeSeriesDataset,
+                              attribute: str = "end_event_type"
+                              ) -> tuple[np.ndarray, np.ndarray]:
+    """Features/labels for the Figure-11 classification task.
+
+    Each series is summarised per feature column by mean, max, standard
+    deviation, last valid value, and slope (last minus first), plus the
+    normalised series length -- the kind of summary a cluster scheduler
+    could compute online.
+    """
+    n = len(dataset)
+    tmax = dataset.schema.max_length
+    mask = padding_mask(dataset.lengths, tmax)
+    lengths = dataset.lengths.astype(np.float64)
+    columns = []
+    for j in range(dataset.features.shape[2]):
+        col = dataset.features[:, :, j]
+        total = (col * mask).sum(axis=1)
+        mean = total / lengths
+        maximum = np.where(mask > 0, col, -np.inf).max(axis=1)
+        centred = (col - mean[:, None]) * mask
+        std = np.sqrt((centred ** 2).sum(axis=1) / lengths)
+        last = col[np.arange(n), dataset.lengths - 1]
+        first = col[:, 0]
+        columns.extend([mean, maximum, std, last, last - first])
+    columns.append(lengths / tmax)
+    x = np.stack(columns, axis=1)
+    y = dataset.attribute_column(attribute).astype(np.int64)
+    return x, y
+
+
+def forecasting_arrays(dataset: TimeSeriesDataset, feature: str,
+                       history: int, horizon: int,
+                       log_transform: bool = True
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Inputs/targets for the Figure-27 forecasting task.
+
+    The first ``history`` steps are the input; the following ``horizon``
+    steps are the target.  Page views are heavy-tailed, so a log1p
+    transform is applied by default.
+    """
+    if history + horizon > dataset.schema.max_length:
+        raise ValueError("history + horizon exceeds the series length")
+    column = dataset.feature_column(feature)
+    if log_transform:
+        column = np.log1p(np.maximum(column, 0.0))
+    return (column[:, :history].copy(),
+            column[:, history:history + horizon].copy())
+
+
+def train_synthetic_test_real(split: EvaluationSplit, model,
+                              featurize) -> float:
+    """Train a predictor on B, test on A' (the Figure-11 protocol).
+
+    ``featurize`` maps a dataset to (x, y); ``model`` is a Classifier or
+    Regressor.  Returns accuracy or R² accordingly.
+    """
+    if split.train_synthetic is None:
+        raise ValueError("split has no synthetic data; call synthesize_split")
+    x_train, y_train = featurize(split.train_synthetic)
+    x_test, y_test = featurize(split.test_real)
+    return _fit_and_score(model, x_train, y_train, x_test, y_test)
+
+
+def train_real_test_real(split: EvaluationSplit, model, featurize) -> float:
+    """Train on A, test on A' (the "real" bars of Figure 11)."""
+    x_train, y_train = featurize(split.train_real)
+    x_test, y_test = featurize(split.test_real)
+    return _fit_and_score(model, x_train, y_train, x_test, y_test)
+
+
+def _fit_and_score(model, x_train, y_train, x_test, y_test) -> float:
+    if not isinstance(model, (Classifier, Regressor)):
+        raise TypeError("model must be a Classifier or Regressor")
+    model.fit(x_train, y_train)
+    if isinstance(model, Classifier):
+        return accuracy(model, x_test, y_test)
+    return r2_score(y_test, model.predict(x_test))
+
+
+@dataclass
+class RankingResult:
+    """Per-model scores and the Table-4 rank correlation."""
+
+    model_names: list[str]
+    real_scores: list[float]      # train on A, test on A'
+    synthetic_scores: list[float]  # train on B, test on B'
+    rank_correlation: float
+
+
+def algorithm_ranking(split: EvaluationSplit, models: list,
+                      featurize) -> RankingResult:
+    """The Table-4 protocol: is the predictor ranking preserved on B/B'?
+
+    Real ranking comes from train-A/test-A'; synthetic ranking from
+    train-B/test-B'.  Returns Spearman's rho between the two score vectors.
+    """
+    if split.train_synthetic is None or split.test_synthetic is None:
+        raise ValueError("split needs both B and B'")
+    x_a, y_a = featurize(split.train_real)
+    x_ap, y_ap = featurize(split.test_real)
+    x_b, y_b = featurize(split.train_synthetic)
+    x_bp, y_bp = featurize(split.test_synthetic)
+    real_scores, synthetic_scores, names = [], [], []
+    for model in models:
+        names.append(model.name)
+        real_scores.append(_fit_and_score(model, x_a, y_a, x_ap, y_ap))
+        synthetic_scores.append(_fit_and_score(model, x_b, y_b, x_bp, y_bp))
+    rho = spearman_rank_correlation(np.array(real_scores),
+                                    np.array(synthetic_scores))
+    return RankingResult(model_names=names, real_scores=real_scores,
+                         synthetic_scores=synthetic_scores,
+                         rank_correlation=rho)
+
+
+# Alias used by the WWT benchmark, where models are regressors.
+regression_ranking = algorithm_ranking

@@ -1,0 +1,14 @@
+"""Experiment harness shared by the benchmark suite."""
+
+from repro.experiments.configs import (BENCH, BenchScale, baseline_kwargs,
+                                       make_dataset, make_dg_config)
+from repro.experiments.harness import (MODEL_NAMES, clear_cache, get_dataset,
+                                       get_model, get_split, print_series,
+                                       print_table)
+
+__all__ = [
+    "BENCH", "BenchScale", "make_dataset", "make_dg_config",
+    "baseline_kwargs",
+    "MODEL_NAMES", "get_dataset", "get_model", "get_split",
+    "print_table", "print_series", "clear_cache",
+]

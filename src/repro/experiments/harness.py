@@ -1,0 +1,130 @@
+"""Shared benchmark harness.
+
+Training a GAN is expensive relative to the metrics computed on it, and many
+figures evaluate the *same* trained models, so this module memoises datasets
+and trained models per (dataset, model) key within the process.  Benchmarks
+print the same rows/series the paper reports via :func:`print_table`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines import (ARBaseline, HMMBaseline, NaiveGANBaseline,
+                             RNNBaseline)
+from repro.core.doppelganger import DoppelGANger
+from repro.experiments.configs import (BENCH, BenchScale, baseline_kwargs,
+                                       make_dataset, make_dg_config)
+
+__all__ = ["MODEL_NAMES", "get_dataset", "get_model", "get_split",
+           "print_table", "print_series", "clear_cache"]
+
+# Paper display names, in the order figures list them.
+MODEL_NAMES = {
+    "dg": "DoppelGANger",
+    "ar": "AR",
+    "rnn": "RNN",
+    "hmm": "HMM",
+    "naive_gan": "Naive GAN",
+}
+
+_DATASETS: dict = {}
+_MODELS: dict = {}
+_SPLITS: dict = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised datasets/models (used by tests)."""
+    _DATASETS.clear()
+    _MODELS.clear()
+    _SPLITS.clear()
+
+
+def get_dataset(name: str, scale: BenchScale = BENCH):
+    key = (name, scale)
+    if key not in _DATASETS:
+        _DATASETS[key] = make_dataset(name, scale)
+    return _DATASETS[key]
+
+
+def get_split(dataset_name: str, model_name: str, scale: BenchScale = BENCH):
+    """Figure-10 split with synthetic halves from the named model."""
+    from repro.data.splits import make_split, synthesize_split
+
+    key = (dataset_name, model_name, scale)
+    if key not in _SPLITS:
+        rng = np.random.default_rng(scale.seed + 1)
+        split = make_split(get_dataset(dataset_name, scale), rng)
+        model = get_model(dataset_name, model_name, scale,
+                          train_data=split.train_real)
+        synthesize_split(split, model, rng=np.random.default_rng(
+            scale.seed + 2))
+        _SPLITS[key] = split
+    return _SPLITS[key]
+
+
+def _build_model(dataset_name: str, model_name: str, scale: BenchScale,
+                 schema, **config_overrides):
+    if model_name == "dg":
+        return DoppelGANger(schema,
+                            make_dg_config(dataset_name, scale,
+                                           **config_overrides))
+    classes = {"hmm": HMMBaseline, "ar": ARBaseline, "rnn": RNNBaseline,
+               "naive_gan": NaiveGANBaseline}
+    return classes[model_name](**baseline_kwargs(model_name, scale))
+
+
+def get_model(dataset_name: str, model_name: str, scale: BenchScale = BENCH,
+              train_data=None, cache_tag: str = "", **config_overrides):
+    """Train (or fetch the cached) model for a dataset.
+
+    ``config_overrides`` only apply to DoppelGANger variants (ablations);
+    give such variants a distinct ``cache_tag``.
+    """
+    key = (dataset_name, model_name, scale, cache_tag,
+           tuple(sorted(config_overrides.items())),
+           id(train_data) if train_data is not None else None)
+    if key in _MODELS:
+        return _MODELS[key]
+    data = train_data if train_data is not None else get_dataset(
+        dataset_name, scale)
+    model = _build_model(dataset_name, model_name, scale, data.schema,
+                         **config_overrides)
+    started = time.time()
+    model.fit(data)
+    elapsed = time.time() - started
+    print(f"[harness] trained {MODEL_NAMES.get(model_name, model_name)} "
+          f"on {dataset_name}{' (' + cache_tag + ')' if cache_tag else ''} "
+          f"in {elapsed:.1f}s", file=sys.stderr)
+    _MODELS[key] = model
+    return model
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned table mirroring one of the paper's tables."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h) for i, h in enumerate(headers)]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+
+
+def print_series(title: str, x_label: str, x_values, series: dict) -> None:
+    """Print figure-style series: one column of x, one per curve."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    print_table(title, headers, rows)

@@ -1,0 +1,6 @@
+"""Flexibility mechanisms: attribute-distribution retargeting (§5.2)."""
+
+from repro.flexibility.retraining import (joint_categorical_target,
+                                          joint_histogram, retrain_to_joint)
+
+__all__ = ["joint_categorical_target", "retrain_to_joint", "joint_histogram"]

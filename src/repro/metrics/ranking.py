@@ -1,0 +1,44 @@
+"""Spearman rank correlation (Table 4): do predictor rankings transfer from
+real to synthetic data?"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rankdata", "spearman_rank_correlation"]
+
+
+def rankdata(values: np.ndarray) -> np.ndarray:
+    """Ranks starting at 1, with ties given their average rank."""
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=np.float64)
+    ranks[order] = np.arange(1, len(values) + 1)
+    # Average ranks within tie groups.
+    sorted_vals = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman_rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman's rho between two score vectors (e.g. predictor accuracies)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("inputs must be equal-length 1-D arrays")
+    if len(a) < 2:
+        raise ValueError("need at least two scores to rank")
+    ra, rb = rankdata(a), rankdata(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra * ra).sum() * (rb * rb).sum())
+    if denom == 0:
+        return 0.0
+    return float((ra * rb).sum() / denom)

@@ -1,0 +1,39 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "orthogonal", "zeros"]
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int,
+                   shape=None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(rng: np.random.Generator, fan_in: int, fan_out: int,
+                  shape=None) -> np.ndarray:
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    if shape is None:
+        shape = (fan_in, fan_out)
+    return rng.normal(0.0, std, size=shape)
+
+
+def orthogonal(rng: np.random.Generator, rows: int, cols: int,
+               gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation (used for recurrent weights)."""
+    a = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)

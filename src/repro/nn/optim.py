@@ -1,0 +1,131 @@
+"""Optimizers operating on lists of parameters.
+
+The paper trains everything with Adam at learning rate 1e-3 (Appendix B).
+Optimizers here are *functional*: they consume explicit gradient lists
+returned by :func:`repro.nn.tensor.grad`, which keeps GAN training loops
+(two optimizers over disjoint parameter sets) simple and explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Parameter, Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR"]
+
+
+def clip_grad_norm(grads, max_norm: float) -> float:
+    """Scale a gradient list in place so its global L2 norm <= max_norm.
+
+    Accepts Tensors or arrays (None entries skipped); returns the norm
+    before clipping.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    arrays = [g.data if isinstance(g, Tensor) else g
+              for g in grads if g is not None]
+    total = float(np.sqrt(sum((a * a).sum() for a in arrays)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for a in arrays:
+            a *= scale
+    return total
+
+
+class StepLR:
+    """Multiply an optimizer's learning rate by ``gamma`` every
+    ``step_size`` calls to :meth:`step`."""
+
+    def __init__(self, optimizer: "Optimizer", step_size: int,
+                 gamma: float = 0.5):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._count = 0
+
+    def step(self) -> float:
+        """Advance one iteration; returns the (possibly updated) lr."""
+        self._count += 1
+        if self._count % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr
+
+
+class Optimizer:
+    """Base class holding a parameter list."""
+
+    def __init__(self, params: Sequence[Parameter]):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+
+    def step(self, grads: Sequence[Tensor | np.ndarray | None]) -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def _as_array(g) -> np.ndarray | None:
+        if g is None:
+            return None
+        return g.data if isinstance(g, Tensor) else np.asarray(g)
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0):
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self, grads) -> None:
+        if len(grads) != len(self.params):
+            raise ValueError("gradient list length mismatch")
+        for p, v, g in zip(self.params, self._velocity, grads):
+            g = self._as_array(g)
+            if g is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with bias correction."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.5, 0.999),
+                 eps: float = 1e-8):
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self, grads) -> None:
+        if len(grads) != len(self.params):
+            raise ValueError("gradient list length mismatch")
+        self._t += 1
+        b1t = 1.0 - self.beta1 ** self._t
+        b2t = 1.0 - self.beta2 ** self._t
+        for p, m, v, g in zip(self.params, self._m, self._v, grads):
+            g = self._as_array(g)
+            if g is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p.data -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)

@@ -1,0 +1,29 @@
+"""Save / load module parameters as ``.npz`` archives.
+
+This implements the "release model parameters" step of the paper's workflow
+(Figure 2): the data holder trains DoppelGANger and ships the parameter file
+to the data consumer, who regenerates synthetic data locally.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Write all named parameters of ``module`` to ``path`` (npz)."""
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,247 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module provides the :class:`Tensor` type and the :func:`grad` engine
+used by every neural network in the reproduction.  The engine supports
+*higher-order* differentiation (``create_graph=True``): the vector-Jacobian
+products of every primitive are themselves expressed with differentiable
+tensor operations, so gradients of gradients -- required by the WGAN-GP
+gradient penalty of the paper (Eq. 2) -- work out of the box.
+
+Only the operations needed by the reproduction are implemented; they live in
+:mod:`repro.nn.ops` and are attached to :class:`Tensor` as methods/operators.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "grad", "no_grad", "is_grad_enabled", "astensor"]
+
+# Global switch: when False, newly created tensors record no graph.  Used to
+# make first-order backward passes cheap (no second-order graph is built).
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (like torch.no_grad)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+class Tensor:
+    """A numpy array plus the autodiff bookkeeping needed to differentiate it.
+
+    Attributes:
+        data: The underlying ``np.ndarray`` (always ``float64``).
+        requires_grad: Whether gradients should flow to this tensor.
+        grad: Populated by :meth:`backward` (None until then).
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_vjp", "name")
+    # Make numpy defer to our reflected operators (e.g. ndarray * Tensor).
+    __array_priority__ = 100
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        vjp: Callable[["Tensor"], Sequence["Tensor | None"]] | None = None,
+        name: str | None = None,
+    ):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Tensor | None = None
+        self._parents = tuple(parents)
+        self._vjp = vjp
+        self.name = name
+
+    # -- basic introspection -------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self._parents
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{flag})"
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return a copy of the underlying data as a plain numpy array."""
+        return np.array(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        out = Tensor(self.data)
+        out.data = self.data  # share storage, like torch.detach
+        return out
+
+    # -- gradient entry points ----------------------------------------------
+    def backward(self, grad_output: "Tensor | np.ndarray | None" = None) -> None:
+        """Accumulate gradients into ``.grad`` of all reachable leaves."""
+        leaves = [t for t in _toposort(self) if t.is_leaf and t.requires_grad]
+        grads = grad(self, leaves, grad_output=grad_output, allow_unused=True)
+        for leaf, g in zip(leaves, grads):
+            if g is None:
+                continue
+            if leaf.grad is None:
+                leaf.grad = Tensor(g.data.copy())
+            else:
+                leaf.grad.data += g.data
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # Arithmetic operators are attached by repro.nn.ops at import time; the
+    # declarations below exist so that type checkers and readers know the
+    # surface area of the class.
+    def __add__(self, other):  # pragma: no cover - replaced by ops
+        raise NotImplementedError
+
+    def __matmul__(self, other):  # pragma: no cover - replaced by ops
+        raise NotImplementedError
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` by default)."""
+
+    __slots__ = ()
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+def astensor(value) -> Tensor:
+    """Coerce a value (array, scalar, Tensor) to a Tensor."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def _toposort(root: Tensor) -> list[Tensor]:
+    """Return tensors reachable from ``root`` in topological order."""
+    order: list[Tensor] = []
+    seen: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in seen:
+                stack.append((parent, False))
+    return order
+
+
+def grad(
+    output: Tensor,
+    inputs: Iterable[Tensor],
+    grad_output: Tensor | np.ndarray | None = None,
+    create_graph: bool = False,
+    allow_unused: bool = False,
+) -> list[Tensor | None]:
+    """Compute d(output)/d(input) for every tensor in ``inputs``.
+
+    Args:
+        output: The tensor to differentiate (any shape; ``grad_output``
+            defaults to ones).
+        inputs: Tensors to differentiate with respect to.
+        grad_output: Upstream gradient with the same shape as ``output``.
+        create_graph: If True, the returned gradients carry their own graph,
+            enabling second-order differentiation (gradient penalty).
+        allow_unused: If False, raise when an input is unreachable from
+            ``output``; if True, return None for such inputs.
+
+    Returns:
+        One gradient tensor per input (or None when unused and allowed).
+    """
+    inputs = list(inputs)
+    if grad_output is None:
+        grad_output = Tensor(np.ones_like(output.data))
+    else:
+        grad_output = astensor(grad_output)
+    if grad_output.shape != output.shape:
+        raise ValueError(
+            f"grad_output shape {grad_output.shape} != output shape {output.shape}"
+        )
+
+    return _grad_impl(output, inputs, grad_output, create_graph, allow_unused)
+
+
+def _grad_impl(
+    output: Tensor,
+    inputs: list[Tensor],
+    grad_output: Tensor,
+    create_graph: bool,
+    allow_unused: bool,
+) -> list[Tensor | None]:
+    wanted = {id(t) for t in inputs}
+    context = contextlib.nullcontext() if create_graph else no_grad()
+    grads: dict[int, Tensor] = {id(output): grad_output}
+    with context:
+        for node in reversed(_toposort(output)):
+            if id(node) in wanted:
+                node_grad = grads.get(id(node))
+            else:
+                node_grad = grads.pop(id(node), None)
+            if node_grad is None or node._vjp is None:
+                continue
+            parent_grads = node._vjp(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None or not parent.requires_grad:
+                    continue
+                existing = grads.get(id(parent))
+                if existing is None:
+                    grads[id(parent)] = pgrad
+                else:
+                    grads[id(parent)] = existing + pgrad
+
+    results: list[Tensor | None] = []
+    for tensor in inputs:
+        g = grads.get(id(tensor))
+        if g is None and not allow_unused:
+            raise RuntimeError(
+                "One of the requested inputs was not reached during "
+                "differentiation (set allow_unused=True to permit this)."
+            )
+        results.append(g)
+    return results

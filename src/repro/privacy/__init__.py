@@ -1,0 +1,16 @@
+"""Privacy evaluations: membership inference, DP accounting, obfuscation."""
+
+from repro.privacy.attribute_obfuscation import (obfuscate_attribute,
+                                                 sample_attribute_rows)
+from repro.privacy.dp_analysis import (DPPlan, epsilon_for_noise,
+                                       noise_for_epsilon)
+from repro.privacy.membership_inference import (
+    MembershipInferenceResult, attack_success_vs_training_size,
+    discriminator_score_attack, membership_inference_attack)
+
+__all__ = [
+    "MembershipInferenceResult", "membership_inference_attack",
+    "discriminator_score_attack", "attack_success_vs_training_size",
+    "DPPlan", "epsilon_for_noise", "noise_for_epsilon",
+    "obfuscate_attribute", "sample_attribute_rows",
+]

@@ -1,0 +1,45 @@
+"""DP training analysis helpers (§5.3.1, Figure 13).
+
+Thin conveniences over the RDP accountant in :mod:`repro.nn.dp` for planning
+the paper's ε sweep: given a training plan (dataset size, batch size,
+iterations, δ) map noise multipliers to ε and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.dp import compute_epsilon, noise_multiplier_for_epsilon
+
+__all__ = ["DPPlan", "epsilon_for_noise", "noise_for_epsilon"]
+
+
+@dataclass(frozen=True)
+class DPPlan:
+    """A DP-SGD training plan for accounting purposes."""
+
+    dataset_size: int
+    batch_size: int
+    iterations: int
+    delta: float = 1e-5
+
+    def __post_init__(self):
+        if self.batch_size > self.dataset_size:
+            raise ValueError("batch_size cannot exceed dataset_size")
+
+    @property
+    def sampling_probability(self) -> float:
+        return self.batch_size / self.dataset_size
+
+
+def epsilon_for_noise(plan: DPPlan, noise_multiplier: float) -> float:
+    """ε achieved by the plan at a given noise multiplier."""
+    return compute_epsilon(plan.sampling_probability, noise_multiplier,
+                           plan.iterations, plan.delta)
+
+
+def noise_for_epsilon(plan: DPPlan, target_epsilon: float) -> float:
+    """Noise multiplier needed to achieve a target ε under the plan."""
+    return noise_multiplier_for_epsilon(plan.sampling_probability,
+                                        plan.iterations, plan.delta,
+                                        target_epsilon)

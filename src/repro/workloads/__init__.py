@@ -1,0 +1,18 @@
+"""Systems workloads driven by (real or synthetic) traces (§2.1 use cases)."""
+
+from repro.workloads.provisioning import (CapacityPlan, capacity_plan,
+                                           provisioning_error)
+from repro.workloads.scheduler import (BestFitScheduler, ClusterSimulator,
+                                       FCFSScheduler, ScheduleResult,
+                                       SchedulerPolicy, SJFScheduler, Task,
+                                       default_schedulers,
+                                       evaluate_schedulers,
+                                       scheduler_ranking,
+                                       tasks_from_dataset)
+
+__all__ = [
+    "CapacityPlan", "capacity_plan", "provisioning_error",
+    "Task", "tasks_from_dataset", "ClusterSimulator", "SchedulerPolicy",
+    "FCFSScheduler", "SJFScheduler", "BestFitScheduler", "ScheduleResult",
+    "evaluate_schedulers", "scheduler_ranking", "default_schedulers",
+]

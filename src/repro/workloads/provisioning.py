@@ -1,0 +1,83 @@
+"""Capacity provisioning from traces (§2.1, "structural characterization").
+
+Network operators provision links from percentile statistics of measured
+usage (classic p95 billing/provisioning).  A useful synthetic trace must
+yield nearly the same provisioning decisions as the real one.  This module
+computes per-group percentile capacity plans from a dataset and compares
+the plans produced by real vs synthetic data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset, padding_mask
+
+__all__ = ["CapacityPlan", "capacity_plan", "provisioning_error"]
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Provisioned capacity per category of a grouping attribute."""
+
+    attribute: str
+    feature: str
+    percentile: float
+    capacities: tuple[float, ...]  # indexed by category
+
+    def capacity_for(self, category_index: int) -> float:
+        return self.capacities[category_index]
+
+
+def capacity_plan(dataset: TimeSeriesDataset, feature: str,
+                  group_by: str, percentile: float = 95.0) -> CapacityPlan:
+    """Provision each category at the given percentile of per-step usage.
+
+    Args:
+        dataset: Measurement trace (real or synthetic).
+        feature: The usage feature to provision for (e.g. traffic_bytes).
+        group_by: Categorical attribute defining user groups
+            (e.g. technology).
+        percentile: Provisioning percentile (95 is the industry classic).
+    """
+    spec = dataset.schema.attribute(group_by)
+    if not spec.is_categorical:
+        raise ValueError(f"{group_by!r} is not categorical")
+    if not 0 < percentile <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    usage = dataset.feature_column(feature)
+    mask = padding_mask(dataset.lengths, dataset.schema.max_length) > 0
+    groups = dataset.attribute_column(group_by).astype(int)
+    capacities = []
+    for category in range(spec.dimension):
+        rows = groups == category
+        values = usage[rows][mask[rows]]
+        capacities.append(float(np.percentile(values, percentile))
+                          if values.size else 0.0)
+    return CapacityPlan(attribute=group_by, feature=feature,
+                        percentile=percentile,
+                        capacities=tuple(capacities))
+
+
+def provisioning_error(real_plan: CapacityPlan,
+                       synthetic_plan: CapacityPlan) -> float:
+    """Mean relative capacity error over categories present in real data.
+
+    The §2.1 transfer property for this task: an operator provisioning
+    from the synthetic trace should allocate nearly the same capacity as
+    one using the real trace.
+    """
+    if (real_plan.attribute != synthetic_plan.attribute
+            or real_plan.feature != synthetic_plan.feature):
+        raise ValueError("plans cover different attributes/features")
+    errors = []
+    for real_cap, syn_cap in zip(real_plan.capacities,
+                                 synthetic_plan.capacities):
+        if real_cap <= 0:
+            continue
+        errors.append(abs(syn_cap - real_cap) / real_cap)
+    if not errors:
+        raise ValueError("no populated categories to compare")
+    return float(np.mean(errors))

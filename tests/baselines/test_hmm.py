@@ -1,0 +1,96 @@
+"""Tests for the Gaussian HMM and the HMM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hmm import GaussianHMM, HMMBaseline, _first_end_step
+
+
+class TestGaussianHMM:
+    def make_two_state_data(self, n=40, t=30):
+        """Sequences alternating between two well-separated Gaussians."""
+        rng = np.random.default_rng(0)
+        seqs = []
+        for _ in range(n):
+            states = np.arange(t) // 5 % 2
+            seqs.append(states[:, None] * 10.0 + rng.normal(0, 0.3, (t, 1)))
+        return seqs
+
+    def test_learns_separated_means(self):
+        hmm = GaussianHMM(n_states=2, n_iter=25, seed=1)
+        hmm.fit(self.make_two_state_data())
+        means = np.sort(hmm.means[:, 0])
+        assert abs(means[0] - 0.0) < 1.0
+        assert abs(means[1] - 10.0) < 1.0
+
+    def test_likelihood_improves_with_training(self):
+        seqs = self.make_two_state_data(n=20)
+        short = GaussianHMM(n_states=2, n_iter=1, seed=1).fit(seqs)
+        long = GaussianHMM(n_states=2, n_iter=20, seed=1).fit(seqs)
+        ll_short = sum(short.log_likelihood(s) for s in seqs)
+        ll_long = sum(long.log_likelihood(s) for s in seqs)
+        assert ll_long >= ll_short
+
+    def test_sample_shape(self):
+        hmm = GaussianHMM(n_states=3, n_iter=5, seed=0)
+        hmm.fit(self.make_two_state_data(n=10))
+        out = hmm.sample(17, np.random.default_rng(0))
+        assert out.shape == (17, 1)
+
+    def test_rejects_empty_training(self):
+        with pytest.raises(ValueError, match="no training"):
+            GaussianHMM().fit([])
+
+    def test_invalid_states_rejected(self):
+        with pytest.raises(ValueError, match="n_states"):
+            GaussianHMM(n_states=0)
+
+    def test_transition_rows_are_distributions(self):
+        hmm = GaussianHMM(n_states=4, n_iter=10, seed=0)
+        hmm.fit(self.make_two_state_data(n=10))
+        assert np.allclose(hmm.transition.sum(axis=1), 1.0)
+        assert hmm.transition.min() >= 0
+
+    def test_more_states_than_data_points(self):
+        """Degenerate but must not crash (dead states become uniform)."""
+        hmm = GaussianHMM(n_states=8, n_iter=5, seed=0)
+        hmm.fit([np.zeros((3, 2)), np.ones((2, 2))])
+        out = hmm.sample(5, np.random.default_rng(0))
+        assert out.shape == (5, 2)
+
+
+class TestFirstEndStep:
+    def test_finds_first_dominant_end(self):
+        flags = np.array([[1, 0], [0.4, 0.6], [1, 0]])
+        assert _first_end_step(flags) == 1
+
+    def test_no_end_gives_last(self):
+        flags = np.array([[1, 0], [1, 0]])
+        assert _first_end_step(flags) == 1
+
+
+class TestHMMBaseline:
+    def test_fit_generate_roundtrip(self, tiny_gcut):
+        model = HMMBaseline(n_states=5, n_iter=5, seed=0)
+        model.fit(tiny_gcut)
+        syn = model.generate(30, rng=np.random.default_rng(0))
+        assert len(syn) == 30
+        assert syn.schema == tiny_gcut.schema
+        assert np.all(syn.lengths >= 1)
+
+    def test_attribute_marginal_matches_training(self, tiny_gcut):
+        """Baselines sample attributes empirically -> near-exact marginal."""
+        model = HMMBaseline(n_states=4, n_iter=4, seed=0)
+        model.fit(tiny_gcut)
+        syn = model.generate(2000, rng=np.random.default_rng(1))
+        real = np.bincount(
+            tiny_gcut.attribute_column("end_event_type").astype(int),
+            minlength=4) / len(tiny_gcut)
+        fake = np.bincount(
+            syn.attribute_column("end_event_type").astype(int),
+            minlength=4) / len(syn)
+        assert np.abs(real - fake).max() < 0.06
+
+    def test_generate_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            HMMBaseline().generate(3)

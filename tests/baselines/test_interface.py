@@ -1,0 +1,62 @@
+"""Interface conformance across all generative models (DG + baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (ARBaseline, HMMBaseline, NaiveGANBaseline,
+                             RNNBaseline)
+
+
+def build_models():
+    return [
+        HMMBaseline(n_states=4, n_iter=3, seed=0),
+        ARBaseline(p=2, hidden=(12,), iterations=8, batch_size=16, seed=0),
+        RNNBaseline(hidden_size=10, iterations=4, batch_size=16, seed=0),
+        NaiveGANBaseline(noise_dim=5, generator_hidden=(12,),
+                         discriminator_hidden=(12,), iterations=4,
+                         batch_size=16, seed=0),
+    ]
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_gcut):
+    models = build_models()
+    for model in models:
+        model.fit(tiny_gcut)
+    return models
+
+
+@pytest.mark.parametrize("index", range(4),
+                         ids=["hmm", "ar", "rnn", "naive_gan"])
+class TestGenerativeModelContract:
+    def test_generate_respects_schema(self, fitted, tiny_gcut, index):
+        syn = fitted[index].generate(15, rng=np.random.default_rng(0))
+        assert len(syn) == 15
+        assert syn.schema == tiny_gcut.schema
+        assert syn.features.shape == (15, tiny_gcut.schema.max_length,
+                                      len(tiny_gcut.schema.features))
+
+    def test_lengths_valid(self, fitted, tiny_gcut, index):
+        syn = fitted[index].generate(15, rng=np.random.default_rng(1))
+        assert np.all(syn.lengths >= 1)
+        assert np.all(syn.lengths <= tiny_gcut.schema.max_length)
+
+    def test_padding_zeroed(self, fitted, tiny_gcut, index):
+        syn = fitted[index].generate(10, rng=np.random.default_rng(2))
+        for i in range(len(syn)):
+            assert np.all(syn.features[i, syn.lengths[i]:] == 0.0)
+
+    def test_seeded_generation_reproducible(self, fitted, index):
+        a = fitted[index].generate(6, rng=np.random.default_rng(9))
+        b = fitted[index].generate(6, rng=np.random.default_rng(9))
+        assert np.allclose(a.features, b.features)
+        assert np.array_equal(a.attributes, b.attributes)
+
+    def test_attribute_indices_valid(self, fitted, tiny_gcut, index):
+        syn = fitted[index].generate(20, rng=np.random.default_rng(3))
+        events = syn.attribute_column("end_event_type")
+        assert ((events >= 0) & (events <= 3)).all()
+
+    def test_finite_values(self, fitted, index):
+        syn = fitted[index].generate(10, rng=np.random.default_rng(4))
+        assert np.isfinite(syn.features).all()

@@ -1,0 +1,54 @@
+"""Tests for the naive (joint MLP) GAN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive_gan import NaiveGANBaseline
+
+
+def small_gan(**kw):
+    defaults = dict(noise_dim=8, generator_hidden=(32, 32),
+                    discriminator_hidden=(32, 32), iterations=40,
+                    batch_size=16, seed=0)
+    defaults.update(kw)
+    return NaiveGANBaseline(**defaults)
+
+
+class TestNaiveGAN:
+    def test_fit_generate(self, tiny_gcut):
+        model = small_gan()
+        model.fit(tiny_gcut)
+        syn = model.generate(20, rng=np.random.default_rng(0))
+        assert len(syn) == 20
+        assert syn.schema == tiny_gcut.schema
+        assert np.all(syn.lengths >= 1)
+
+    def test_attributes_are_valid_categories(self, tiny_gcut):
+        model = small_gan()
+        model.fit(tiny_gcut)
+        syn = model.generate(50, rng=np.random.default_rng(1))
+        events = syn.attribute_column("end_event_type")
+        assert set(np.unique(events)) <= {0.0, 1.0, 2.0, 3.0}
+
+    def test_joint_generation_no_conditioning(self, tiny_gcut):
+        """The naive GAN has no mechanism for conditional generation --
+        attributes and features come out of one MLP."""
+        model = small_gan()
+        model.fit(tiny_gcut)
+        assert not hasattr(model, "attribute_generator")
+
+    def test_loss_history_recorded(self, tiny_gcut):
+        model = small_gan(iterations=10)
+        model.fit(tiny_gcut)
+        assert len(model.loss_history) == 10
+        assert all(np.isfinite(model.loss_history))
+
+    def test_generate_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            small_gan().generate(2)
+
+    def test_works_on_multifeature_data(self, tiny_mba):
+        model = small_gan(iterations=10)
+        model.fit(tiny_mba)
+        syn = model.generate(6, rng=np.random.default_rng(0))
+        assert syn.features.shape[2] == 2

@@ -1,0 +1,58 @@
+"""Tests for baseline save/load."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (ARBaseline, HMMBaseline, NaiveGANBaseline,
+                             RNNBaseline)
+from repro.baselines.persistence import load_baseline, save_baseline
+
+
+def fitted_models(dataset):
+    models = [
+        HMMBaseline(n_states=4, n_iter=3, seed=0),
+        ARBaseline(p=2, hidden=(16,), iterations=10, batch_size=16, seed=0),
+        RNNBaseline(hidden_size=12, iterations=5, batch_size=16, seed=0),
+        NaiveGANBaseline(noise_dim=6, generator_hidden=(16,),
+                         discriminator_hidden=(16,), iterations=5,
+                         batch_size=16, seed=0),
+    ]
+    for model in models:
+        model.fit(dataset)
+    return models
+
+
+@pytest.fixture(scope="module")
+def models(tiny_gcut):
+    return fitted_models(tiny_gcut)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("index", range(4),
+                             ids=["hmm", "ar", "rnn", "naive_gan"])
+    def test_identical_generation_after_reload(self, models, index,
+                                               tmp_path):
+        model = models[index]
+        path = tmp_path / "baseline.npz"
+        save_baseline(model, path)
+        loaded = load_baseline(path)
+        a = model.generate(8, rng=np.random.default_rng(3))
+        b = loaded.generate(8, rng=np.random.default_rng(3))
+        assert np.allclose(a.features, b.features)
+        assert np.array_equal(a.attributes, b.attributes)
+        assert np.array_equal(a.lengths, b.lengths)
+
+    def test_unfitted_model_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError, match="fitted"):
+            save_baseline(HMMBaseline(), tmp_path / "x.npz")
+
+    def test_metadata_flags_attribute_leak(self, models, tmp_path):
+        """Baseline parameter files embed raw training attributes; the
+        archive must say so (the privacy caveat of §5.0.1)."""
+        import json
+        path = tmp_path / "baseline.npz"
+        save_baseline(models[0], path)
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["__meta__"].tobytes()).decode())
+        assert meta["leaks_training_attributes"] is True
+        assert meta["kind"] == "HMM"

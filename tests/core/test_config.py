@@ -1,0 +1,55 @@
+"""Tests for DGConfig validation and recommendations."""
+
+import pytest
+
+from repro.core.config import DGConfig, DPTrainingConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        DGConfig()
+
+    def test_sample_len_positive(self):
+        with pytest.raises(ValueError, match="sample_len"):
+            DGConfig(sample_len=0)
+
+    def test_batch_size_minimum(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            DGConfig(batch_size=1)
+
+    def test_learning_rate_positive(self):
+        with pytest.raises(ValueError, match="learning_rate"):
+            DGConfig(learning_rate=0.0)
+
+    def test_alpha_nonnegative(self):
+        with pytest.raises(ValueError, match="aux_discriminator_weight"):
+            DGConfig(aux_discriminator_weight=-1.0)
+
+    def test_target_range_checked(self):
+        with pytest.raises(ValueError, match="target_range"):
+            DGConfig(target_range="pct")
+
+    def test_validate_for_length(self):
+        DGConfig(sample_len=5).validate_for_length(50)
+        with pytest.raises(ValueError, match="must divide"):
+            DGConfig(sample_len=7).validate_for_length(50)
+
+
+class TestRecommendation:
+    def test_paper_scale(self):
+        """T=550 with ~50 passes should give S around 10-11 (the paper's
+        recommended operating point)."""
+        s = DGConfig.recommended_sample_len(550, target_passes=50)
+        assert s in (10, 11)
+        assert 550 % s == 0
+
+    def test_short_series(self):
+        s = DGConfig.recommended_sample_len(56, target_passes=8)
+        assert 56 % s == 0
+        assert abs(56 / s - 8) <= 1
+
+
+def test_dp_config_defaults():
+    dp = DPTrainingConfig()
+    assert dp.l2_norm_clip > 0
+    assert dp.microbatch_size == 1

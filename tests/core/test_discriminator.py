@@ -1,0 +1,53 @@
+"""Tests for the two discriminators."""
+
+import numpy as np
+
+from repro.core.discriminator import AuxiliaryDiscriminator, Discriminator
+from repro.nn import Tensor
+
+
+RNG = np.random.default_rng(31)
+
+
+class TestDiscriminator:
+    def test_flatten_and_score(self):
+        disc = Discriminator(attribute_dim=3, minmax_dim=2, feature_dim=4,
+                             max_length=6, hidden=(16,), rng=RNG)
+        flat = disc.flatten(Tensor(RNG.normal(size=(5, 3))),
+                            Tensor(RNG.normal(size=(5, 2))),
+                            Tensor(RNG.normal(size=(5, 6, 4))))
+        assert flat.shape == (5, 3 + 2 + 24)
+        assert disc(flat).shape == (5, 1)
+
+    def test_no_minmax(self):
+        disc = Discriminator(attribute_dim=3, minmax_dim=0, feature_dim=4,
+                             max_length=6, hidden=(16,), rng=RNG)
+        flat = disc.flatten(Tensor(RNG.normal(size=(5, 3))),
+                            Tensor(np.zeros((5, 0))),
+                            Tensor(RNG.normal(size=(5, 6, 4))))
+        assert flat.shape == (5, 27)
+
+    def test_critic_output_unbounded(self):
+        """Wasserstein critic: no output activation."""
+        disc = Discriminator(attribute_dim=2, minmax_dim=0, feature_dim=1,
+                             max_length=2, hidden=(8,), rng=RNG)
+        flat = Tensor(RNG.normal(size=(200, 4)) * 100)
+        scores = disc(flat).data
+        assert scores.min() < 0 or scores.max() > 1
+
+
+class TestAuxiliaryDiscriminator:
+    def test_scores_attributes_only(self):
+        aux = AuxiliaryDiscriminator(attribute_dim=3, minmax_dim=2,
+                                     hidden=(8,), rng=RNG)
+        flat = aux.flatten(Tensor(RNG.normal(size=(4, 3))),
+                           Tensor(RNG.normal(size=(4, 2))))
+        assert flat.shape == (4, 5)
+        assert aux(flat).shape == (4, 1)
+
+    def test_without_minmax(self):
+        aux = AuxiliaryDiscriminator(attribute_dim=3, minmax_dim=0,
+                                     hidden=(8,), rng=RNG)
+        flat = aux.flatten(Tensor(RNG.normal(size=(4, 3))),
+                           Tensor(np.zeros((4, 0))))
+        assert flat.shape == (4, 3)

@@ -1,0 +1,132 @@
+"""Tests for WGAN-GP loss components."""
+
+import numpy as np
+
+from repro.core.losses import critic_loss, generator_loss, gradient_penalty
+from repro.nn import Linear, MLP, Tensor, grad
+
+
+RNG = np.random.default_rng(41)
+
+
+class TestGradientPenalty:
+    def test_zero_for_unit_slope_critic(self):
+        critic = Linear(3, 1, rng=RNG)
+        critic.weight.data = np.array([[1.0], [0.0], [0.0]])
+        critic.bias.data[:] = 0.0
+        real = Tensor(RNG.normal(size=(8, 3)))
+        fake = Tensor(RNG.normal(size=(8, 3)))
+        gp = gradient_penalty(critic, real, fake, np.random.default_rng(0))
+        assert gp.item() < 1e-12
+
+    def test_positive_for_flat_critic(self):
+        critic = Linear(3, 1, rng=RNG)
+        critic.weight.data[:] = 0.0  # gradient norm 0 -> penalty 1
+        real = Tensor(RNG.normal(size=(8, 3)))
+        fake = Tensor(RNG.normal(size=(8, 3)))
+        gp = gradient_penalty(critic, real, fake, np.random.default_rng(0))
+        assert np.isclose(gp.item(), 1.0, atol=1e-6)
+
+    def test_penalty_differentiable_wrt_weights(self):
+        critic = MLP(4, [8], 1, activation="tanh", rng=RNG)
+        real = Tensor(RNG.normal(size=(6, 4)))
+        fake = Tensor(RNG.normal(size=(6, 4)))
+        gp = gradient_penalty(critic, real, fake, np.random.default_rng(0))
+        grads = grad(gp, [p for p in critic.parameters() if p.ndim == 2])
+        assert all(np.abs(g.data).sum() > 0 for g in grads)
+
+
+class TestCriticLoss:
+    def test_wasserstein_direction(self):
+        """Critic loss = E[D(fake)] - E[D(real)]; if D scores real higher,
+        the loss is negative."""
+        critic = Linear(2, 1, rng=RNG)
+        critic.weight.data = np.array([[1.0], [0.0]])
+        critic.bias.data[:] = 0.0
+        real = Tensor(np.full((4, 2), 5.0))
+        fake = Tensor(np.zeros((4, 2)))
+        loss = critic_loss(critic, real, fake, gp_weight=0.0,
+                           rng=np.random.default_rng(0))
+        assert loss.item() < 0
+
+    def test_gp_weight_added(self):
+        critic = Linear(2, 1, rng=RNG)
+        critic.weight.data[:] = 0.0
+        critic.bias.data[:] = 0.0
+        real = Tensor(RNG.normal(size=(4, 2)))
+        fake = Tensor(RNG.normal(size=(4, 2)))
+        with_gp = critic_loss(critic, real, fake, 10.0,
+                              np.random.default_rng(0))
+        without = critic_loss(critic, real, fake, 0.0,
+                              np.random.default_rng(0))
+        assert np.isclose(with_gp.item() - without.item(), 10.0, atol=1e-6)
+
+
+class TestGeneratorLoss:
+    def test_sign(self):
+        critic = Linear(2, 1, rng=RNG)
+        critic.weight.data = np.array([[1.0], [1.0]])
+        critic.bias.data[:] = 0.0
+        fake = Tensor(np.full((4, 2), 3.0))
+        loss = generator_loss(critic, fake)
+        assert np.isclose(loss.item(), -6.0)
+
+
+class TestAdversarialDynamics:
+    def test_critic_learns_to_separate(self):
+        """A few critic steps must push D(real) above D(fake)."""
+        from repro.nn import Adam
+        critic = MLP(2, [16], 1, rng=np.random.default_rng(5))
+        opt = Adam(critic.parameters(), lr=1e-2)
+        rng = np.random.default_rng(0)
+        real_data = rng.normal(loc=3.0, size=(64, 2))
+        fake_data = rng.normal(loc=-3.0, size=(64, 2))
+        for _ in range(100):
+            loss = critic_loss(critic, Tensor(real_data), Tensor(fake_data),
+                               10.0, rng)
+            opt.step(grad(loss, critic.parameters(), allow_unused=True))
+        gap = (critic(Tensor(real_data)).mean().item()
+               - critic(Tensor(fake_data)).mean().item())
+        assert gap > 1.0
+
+
+class TestVanillaLoss:
+    def test_discriminator_loss_at_uniform(self):
+        from repro.core.losses import vanilla_discriminator_loss
+        critic = Linear(2, 1, rng=RNG)
+        critic.weight.data[:] = 0.0
+        critic.bias.data[:] = 0.0
+        real = Tensor(RNG.normal(size=(4, 2)))
+        fake = Tensor(RNG.normal(size=(4, 2)))
+        loss = vanilla_discriminator_loss(critic, real, fake)
+        # D(x) = 0.5 everywhere -> loss = 2 * log 2.
+        assert np.isclose(loss.item(), 2 * np.log(2))
+
+    def test_generator_loss_nonsaturating(self):
+        from repro.core.losses import vanilla_generator_loss
+        critic = Linear(2, 1, rng=RNG)
+        fake = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        loss = vanilla_generator_loss(critic, fake)
+        (g,) = grad(loss, [fake])
+        assert np.abs(g.data).sum() > 0
+
+    def test_vanilla_training_runs(self):
+        """The §4.3 ablation path: training with the original GAN loss."""
+        import numpy as np
+        from repro.core import DoppelGANger
+        from repro.data.simulators import generate_gcut
+        from tests.conftest import tiny_dg_config
+        data = generate_gcut(40, np.random.default_rng(0), max_length=8)
+        model = DoppelGANger(data.schema,
+                             tiny_dg_config(iterations=4,
+                                            loss_type="vanilla"))
+        history = model.fit(data, log_every=1)
+        assert all(np.isfinite(history.d_loss))
+        syn = model.generate(5, rng=np.random.default_rng(1))
+        assert len(syn) == 5
+
+    def test_invalid_loss_type_rejected(self):
+        from repro.core.config import DGConfig
+        import pytest
+        with pytest.raises(ValueError, match="loss_type"):
+            DGConfig(loss_type="hinge")

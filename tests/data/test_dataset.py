@@ -1,0 +1,122 @@
+"""Tests for the TimeSeriesDataset container and generation flags."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import (TimeSeriesDataset, generation_flags,
+                                padding_mask)
+from repro.data.schema import CategoricalSpec, ContinuousSpec, DataSchema
+
+
+SCHEMA = DataSchema(
+    attributes=(CategoricalSpec("kind", ("a", "b")),),
+    features=(ContinuousSpec("v", low=0.0),),
+    max_length=5,
+)
+
+
+def make_dataset(n=4, lengths=None):
+    rng = np.random.default_rng(0)
+    lengths = np.array(lengths if lengths is not None else [5, 3, 1, 4])
+    feats = rng.uniform(1, 2, size=(n, 5, 1))
+    attrs = rng.integers(0, 2, size=(n, 1)).astype(float)
+    return TimeSeriesDataset(schema=SCHEMA, attributes=attrs,
+                             features=feats, lengths=lengths)
+
+
+class TestValidation:
+    def test_padding_enforced(self):
+        ds = make_dataset()
+        assert np.all(ds.features[1, 3:] == 0.0)
+        assert np.all(ds.features[2, 1:] == 0.0)
+
+    def test_attribute_column_count_checked(self):
+        with pytest.raises(ValueError, match="columns"):
+            TimeSeriesDataset(schema=SCHEMA,
+                              attributes=np.zeros((2, 3)),
+                              features=np.zeros((2, 5, 1)),
+                              lengths=np.array([5, 5]))
+
+    def test_feature_length_checked(self):
+        with pytest.raises(ValueError, match="padded"):
+            TimeSeriesDataset(schema=SCHEMA, attributes=np.zeros((2, 1)),
+                              features=np.zeros((2, 4, 1)),
+                              lengths=np.array([4, 4]))
+
+    def test_lengths_bounds_checked(self):
+        with pytest.raises(ValueError, match="lengths"):
+            TimeSeriesDataset(schema=SCHEMA, attributes=np.zeros((2, 1)),
+                              features=np.zeros((2, 5, 1)),
+                              lengths=np.array([0, 5]))
+
+    def test_row_count_mismatch(self):
+        with pytest.raises(ValueError, match="agree on n"):
+            TimeSeriesDataset(schema=SCHEMA, attributes=np.zeros((2, 1)),
+                              features=np.zeros((3, 5, 1)),
+                              lengths=np.array([5, 5, 5]))
+
+
+class TestAccessors:
+    def test_len(self):
+        assert len(make_dataset()) == 4
+
+    def test_getitem_single(self):
+        ds = make_dataset()
+        one = ds[1]
+        assert len(one) == 1
+        assert one.lengths[0] == 3
+
+    def test_getitem_array(self):
+        ds = make_dataset()
+        sub = ds[np.array([0, 2])]
+        assert len(sub) == 2
+        assert list(sub.lengths) == [5, 1]
+
+    def test_subsample(self):
+        ds = make_dataset()
+        sub = ds.subsample(2, np.random.default_rng(0))
+        assert len(sub) == 2
+
+    def test_subsample_too_many_raises(self):
+        with pytest.raises(ValueError, match="cannot subsample"):
+            make_dataset().subsample(99, np.random.default_rng(0))
+
+    def test_columns(self):
+        ds = make_dataset()
+        assert ds.attribute_column("kind").shape == (4,)
+        assert ds.feature_column("v").shape == (4, 5)
+
+    def test_concat(self):
+        ds = make_dataset()
+        both = ds.concat(ds)
+        assert len(both) == 8
+
+
+class TestPaddingMask:
+    def test_mask_values(self):
+        mask = padding_mask(np.array([3, 1]), 4)
+        assert np.array_equal(mask, [[1, 1, 1, 0], [1, 0, 0, 0]])
+
+
+class TestGenerationFlags:
+    def test_flag_layout(self):
+        flags = generation_flags(np.array([3]), 5)
+        # steps 0,1: continue; step 2: end; steps 3,4: padding.
+        assert np.array_equal(flags[0, :, 0], [1, 1, 0, 0, 0])
+        assert np.array_equal(flags[0, :, 1], [0, 0, 1, 0, 0])
+
+    def test_length_one(self):
+        flags = generation_flags(np.array([1]), 3)
+        assert np.array_equal(flags[0], [[0, 1], [0, 0], [0, 0]])
+
+    def test_full_length(self):
+        flags = generation_flags(np.array([4]), 4)
+        assert flags[0, -1, 1] == 1.0
+        assert flags[0, :3, 0].sum() == 3.0
+
+    def test_flags_and_mask_consistent(self):
+        lengths = np.array([1, 2, 5, 3])
+        flags = generation_flags(lengths, 5)
+        # Exactly one end flag per series, at position length-1.
+        assert np.array_equal(flags[:, :, 1].sum(axis=1), np.ones(4))
+        assert np.array_equal(flags[:, :, 1].argmax(axis=1), lengths - 1)

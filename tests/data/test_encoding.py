@@ -1,0 +1,309 @@
+"""Tests for the encoder: one-hot, normalisation, auto-normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.encoding import DataEncoder, _lengths_from_flags
+from repro.data.schema import CategoricalSpec, ContinuousSpec, DataSchema
+
+
+SCHEMA = DataSchema(
+    attributes=(CategoricalSpec("kind", ("a", "b", "c")),
+                ContinuousSpec("weight", low=0.0, high=10.0)),
+    features=(ContinuousSpec("v"), CategoricalSpec("state", ("x", "y"))),
+    max_length=6,
+)
+
+
+def make_dataset(seed=0, n=8):
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 7, size=n)
+    feats = np.zeros((n, 6, 2))
+    feats[:, :, 0] = rng.uniform(-5, 20, size=(n, 6))
+    feats[:, :, 1] = rng.integers(0, 2, size=(n, 6))
+    attrs = np.stack([rng.integers(0, 3, size=n).astype(float),
+                      rng.uniform(0, 10, size=n)], axis=1)
+    return TimeSeriesDataset(schema=SCHEMA, attributes=attrs,
+                             features=feats, lengths=lengths)
+
+
+class TestFit:
+    def test_requires_fit_before_transform(self):
+        enc = DataEncoder(SCHEMA)
+        with pytest.raises(RuntimeError, match="fit"):
+            enc.transform(make_dataset())
+
+    def test_schema_mismatch_raises(self):
+        other = DataSchema(attributes=(),
+                           features=(ContinuousSpec("v"),), max_length=6)
+        enc = DataEncoder(other)
+        with pytest.raises(ValueError, match="schema"):
+            enc.fit(make_dataset())
+
+    def test_dims(self):
+        enc = DataEncoder(SCHEMA, auto_normalize=True).fit(make_dataset())
+        assert enc.attribute_dim == 3 + 1
+        assert enc.minmax_dim == 2      # one continuous feature
+        assert enc.feature_dim == 1 + 2 + 2  # v + state onehot + flags
+
+    def test_minmax_dim_zero_when_disabled(self):
+        enc = DataEncoder(SCHEMA, auto_normalize=False).fit(make_dataset())
+        assert enc.minmax_dim == 0
+
+
+class TestTransform:
+    @pytest.mark.parametrize("auto", [True, False])
+    @pytest.mark.parametrize("target", ["zero_one", "minus_one_one"])
+    def test_roundtrip(self, auto, target):
+        ds = make_dataset()
+        enc = DataEncoder(SCHEMA, auto_normalize=auto,
+                          target_range=target).fit(ds)
+        e = enc.transform(ds)
+        back = enc.inverse(e.attributes, e.minmax, e.features)
+        assert np.allclose(back.attributes, ds.attributes, atol=1e-9)
+        assert np.allclose(back.features, ds.features, atol=1e-8)
+        assert np.array_equal(back.lengths, ds.lengths)
+
+    def test_encoded_ranges_zero_one(self):
+        ds = make_dataset()
+        enc = DataEncoder(SCHEMA, auto_normalize=True).fit(ds)
+        e = enc.transform(ds)
+        assert e.features.min() >= 0.0 and e.features.max() <= 1.0 + 1e-12
+        assert e.attributes.min() >= 0.0 and e.attributes.max() <= 1.0
+
+    def test_encoded_ranges_minus_one_one(self):
+        ds = make_dataset()
+        enc = DataEncoder(SCHEMA, auto_normalize=True,
+                          target_range="minus_one_one").fit(ds)
+        e = enc.transform(ds)
+        # Continuous channel (index 0) lives in [-1, 1] on valid steps.
+        assert e.features[:, :, 0].min() >= -1.0 - 1e-12
+        assert e.features[:, :, 0].max() <= 1.0 + 1e-12
+
+    def test_onehot_blocks(self):
+        ds = make_dataset()
+        enc = DataEncoder(SCHEMA).fit(ds)
+        e = enc.transform(ds)
+        kinds = e.attributes[:, :3]
+        assert np.allclose(kinds.sum(axis=1), 1.0)
+        assert set(np.unique(kinds)) <= {0.0, 1.0}
+
+    def test_flags_appended(self):
+        ds = make_dataset()
+        enc = DataEncoder(SCHEMA).fit(ds)
+        e = enc.transform(ds)
+        ends = e.features[:, :, -1]
+        assert np.array_equal(ends.argmax(axis=1), ds.lengths - 1)
+
+    def test_auto_normalization_per_sample(self):
+        """Each sample's continuous feature must span [0, 1] after scaling."""
+        ds = make_dataset()
+        enc = DataEncoder(SCHEMA, auto_normalize=True).fit(ds)
+        e = enc.transform(ds)
+        for i in range(len(ds)):
+            valid = e.features[i, :ds.lengths[i], 0]
+            if ds.lengths[i] > 1:
+                assert valid.max() == pytest.approx(1.0)
+                assert valid.min() == pytest.approx(0.0)
+
+    def test_minmax_attributes_recover_bounds(self):
+        ds = make_dataset()
+        enc = DataEncoder(SCHEMA, auto_normalize=True).fit(ds)
+        e = enc.transform(ds)
+        low = enc._feat_low["v"]
+        high = enc._feat_high["v"]
+        half_sum = e.minmax[:, 0] * (high - low) + low
+        half_range = e.minmax[:, 1] * (high - low) / 2.0
+        for i in range(len(ds)):
+            valid = ds.features[i, :ds.lengths[i], 0]
+            assert half_sum[i] == pytest.approx((valid.max() + valid.min()) / 2)
+            assert half_range[i] == pytest.approx(
+                (valid.max() - valid.min()) / 2)
+
+
+class TestAttributeHelpers:
+    def test_encode_decode_attributes(self):
+        ds = make_dataset()
+        enc = DataEncoder(SCHEMA).fit(ds)
+        encoded = enc.encode_attributes(ds.attributes)
+        decoded = enc.decode_attributes(encoded)
+        assert np.allclose(decoded, ds.attributes, atol=1e-9)
+
+    def test_encode_attributes_validates_shape(self):
+        enc = DataEncoder(SCHEMA).fit(make_dataset())
+        with pytest.raises(ValueError, match="raw attributes"):
+            enc.encode_attributes(np.zeros((3, 9)))
+
+    def test_state_roundtrip(self):
+        ds = make_dataset()
+        enc = DataEncoder(SCHEMA).fit(ds)
+        clone = DataEncoder(SCHEMA).load_state(enc.state())
+        a = enc.transform(ds)
+        b = clone.transform(ds)
+        assert np.allclose(a.features, b.features)
+
+
+class TestLengthsFromFlags:
+    def test_explicit_end(self):
+        flags = np.zeros((1, 4, 2))
+        flags[0, :, 0] = [0.9, 0.9, 0.2, 0.0]
+        flags[0, :, 1] = [0.1, 0.1, 0.8, 0.0]
+        assert _lengths_from_flags(flags)[0] == 3
+
+    def test_never_ends_gives_max(self):
+        flags = np.zeros((1, 4, 2))
+        flags[0, :, 0] = 1.0
+        assert _lengths_from_flags(flags)[0] == 4
+
+    def test_ends_immediately(self):
+        flags = np.zeros((1, 4, 2))
+        flags[0, 0] = [0.2, 0.8]
+        assert _lengths_from_flags(flags)[0] == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 30), st.integers(0, 2 ** 31 - 1))
+def test_roundtrip_property(n, seed):
+    """Transform/inverse is exact for any dataset (hypothesis)."""
+    ds = make_dataset(seed=seed, n=n)
+    enc = DataEncoder(SCHEMA, auto_normalize=True).fit(ds)
+    e = enc.transform(ds)
+    back = enc.inverse(e.attributes, e.minmax, e.features)
+    assert np.allclose(back.features, ds.features, atol=1e-8)
+    assert np.array_equal(back.lengths, ds.lengths)
+
+
+class TestLogTransform:
+    """log_transform encodes heavy-tailed fields as log1p(x)."""
+
+    def _schema(self):
+        from repro.data.schema import (CategoricalSpec, ContinuousSpec,
+                                       DataSchema)
+        return DataSchema(
+            attributes=(CategoricalSpec("kind", ("a", "b")),),
+            features=(ContinuousSpec("bytes", low=0.0, log_transform=True),),
+            max_length=6,
+        )
+
+    def _dataset(self, seed=0, n=10):
+        from repro.data.dataset import TimeSeriesDataset
+        rng = np.random.default_rng(seed)
+        feats = np.exp(rng.normal(3, 2, size=(n, 6, 1)))
+        attrs = rng.integers(0, 2, size=(n, 1)).astype(float)
+        lengths = rng.integers(2, 7, size=n)
+        return TimeSeriesDataset(schema=self._schema(), attributes=attrs,
+                                 features=feats, lengths=lengths)
+
+    def test_roundtrip_exact(self):
+        ds = self._dataset()
+        enc = DataEncoder(ds.schema, auto_normalize=True).fit(ds)
+        e = enc.transform(ds)
+        back = enc.inverse(e.attributes, e.minmax, e.features)
+        assert np.allclose(back.features, ds.features, rtol=1e-9)
+        assert np.array_equal(back.lengths, ds.lengths)
+
+    def test_encoded_mass_not_squeezed(self):
+        """The point of the transform: encoded values use the full range
+        instead of hugging zero."""
+        ds = self._dataset(n=200)
+        log_enc = DataEncoder(ds.schema, auto_normalize=False).fit(ds)
+        e_log = log_enc.transform(ds)
+        from repro.data.schema import ContinuousSpec, DataSchema
+        linear_schema = DataSchema(
+            attributes=ds.schema.attributes,
+            features=(ContinuousSpec("bytes", low=0.0),), max_length=6)
+        from repro.data.dataset import TimeSeriesDataset
+        linear_ds = TimeSeriesDataset(schema=linear_schema,
+                                      attributes=ds.attributes,
+                                      features=ds.features,
+                                      lengths=ds.lengths)
+        lin_enc = DataEncoder(linear_schema, auto_normalize=False).fit(
+            linear_ds)
+        e_lin = lin_enc.transform(linear_ds)
+        valid = e_log.features[:, :, 0][e_log.features[:, :, 0] > 0]
+        valid_lin = e_lin.features[:, :, 0][e_lin.features[:, :, 0] > 0]
+        assert np.median(valid) > 3 * np.median(valid_lin)
+
+    def test_negative_low_rejected(self):
+        from repro.data.schema import ContinuousSpec
+        with pytest.raises(ValueError, match="non-negative"):
+            ContinuousSpec("x", low=-1.0, log_transform=True)
+
+    def test_schema_serialisation_keeps_flag(self):
+        from repro.data.schema import schema_from_dict, schema_to_dict
+        schema = self._schema()
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored.feature("bytes").log_transform is True
+
+
+class TestDegenerateData:
+    def test_constant_feature_roundtrips(self):
+        """A feature with zero range must not divide by zero."""
+        from repro.data.dataset import TimeSeriesDataset
+        from repro.data.schema import ContinuousSpec, DataSchema
+        schema = DataSchema(attributes=(),
+                            features=(ContinuousSpec("flat"),), max_length=4)
+        ds = TimeSeriesDataset(schema=schema,
+                               attributes=np.zeros((3, 0)),
+                               features=np.full((3, 4, 1), 7.0),
+                               lengths=np.array([4, 4, 4]))
+        enc = DataEncoder(schema, auto_normalize=True).fit(ds)
+        e = enc.transform(ds)
+        assert np.isfinite(e.features).all()
+        back = enc.inverse(e.attributes, e.minmax, e.features)
+        assert np.allclose(back.features, 7.0, atol=1e-6)
+
+    def test_single_sample_dataset(self):
+        from repro.data.dataset import TimeSeriesDataset
+        from repro.data.schema import ContinuousSpec, DataSchema
+        schema = DataSchema(attributes=(),
+                            features=(ContinuousSpec("v"),), max_length=4)
+        ds = TimeSeriesDataset(schema=schema, attributes=np.zeros((1, 0)),
+                               features=np.arange(4.0).reshape(1, 4, 1),
+                               lengths=np.array([4]))
+        enc = DataEncoder(schema).fit(ds)
+        e = enc.transform(ds)
+        back = enc.inverse(e.attributes, e.minmax, e.features)
+        assert np.allclose(back.features, ds.features, atol=1e-9)
+
+    @pytest.mark.parametrize("target", ["zero_one", "minus_one_one"])
+    def test_log_transform_with_both_ranges(self, target):
+        from repro.data.dataset import TimeSeriesDataset
+        from repro.data.schema import ContinuousSpec, DataSchema
+        schema = DataSchema(
+            attributes=(),
+            features=(ContinuousSpec("bytes", low=0.0,
+                                     log_transform=True),),
+            max_length=5)
+        rng = np.random.default_rng(0)
+        ds = TimeSeriesDataset(schema=schema, attributes=np.zeros((6, 0)),
+                               features=np.exp(rng.normal(2, 1.5,
+                                                          (6, 5, 1))),
+                               lengths=rng.integers(1, 6, 6))
+        enc = DataEncoder(schema, auto_normalize=True,
+                          target_range=target).fit(ds)
+        e = enc.transform(ds)
+        back = enc.inverse(e.attributes, e.minmax, e.features)
+        assert np.allclose(back.features, ds.features, rtol=1e-8)
+
+    def test_continuous_attribute_with_log_transform(self):
+        from repro.data.dataset import TimeSeriesDataset
+        from repro.data.schema import ContinuousSpec, DataSchema
+        schema = DataSchema(
+            attributes=(ContinuousSpec("size", low=0.0,
+                                       log_transform=True),),
+            features=(ContinuousSpec("v"),), max_length=3)
+        rng = np.random.default_rng(1)
+        ds = TimeSeriesDataset(
+            schema=schema,
+            attributes=np.exp(rng.normal(3, 2, (5, 1))),
+            features=rng.normal(size=(5, 3, 1)),
+            lengths=np.full(5, 3))
+        enc = DataEncoder(schema).fit(ds)
+        encoded = enc.encode_attributes(ds.attributes)
+        assert encoded.min() >= -1e-9 and encoded.max() <= 1 + 1e-9
+        decoded = enc.decode_attributes(encoded)
+        assert np.allclose(decoded, ds.attributes, rtol=1e-8)

@@ -1,0 +1,86 @@
+"""Tests for time aggregation (Appendix-A style preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.resampling import aggregate_time
+from repro.data.schema import CategoricalSpec, ContinuousSpec, DataSchema
+
+
+def simple_dataset(lengths, values, max_length=8):
+    schema = DataSchema(attributes=(),
+                        features=(ContinuousSpec("v"),),
+                        max_length=max_length, collection_period="hourly")
+    n = len(lengths)
+    feats = np.zeros((n, max_length, 1))
+    for i, row in enumerate(values):
+        feats[i, :len(row), 0] = row
+    return TimeSeriesDataset(schema=schema, attributes=np.zeros((n, 0)),
+                             features=feats, lengths=np.array(lengths))
+
+
+class TestAggregateTime:
+    def test_mean_over_full_bins(self):
+        ds = simple_dataset([8], [[1, 3, 5, 7, 2, 4, 6, 8]])
+        out = aggregate_time(ds, factor=2, how="mean")
+        assert out.schema.max_length == 4
+        assert out.lengths[0] == 4
+        assert np.allclose(out.features[0, :, 0], [2, 6, 3, 7])
+
+    def test_partial_trailing_bin(self):
+        """A length-5 series at factor 2 becomes 3 bins; the last bin
+        averages only its single valid step."""
+        ds = simple_dataset([5], [[2, 4, 6, 8, 10]])
+        out = aggregate_time(ds, factor=2)
+        assert out.lengths[0] == 3
+        assert np.allclose(out.features[0, :3, 0], [3, 7, 10])
+
+    def test_sum_and_max(self):
+        ds = simple_dataset([4], [[1, 2, 3, 4]])
+        assert np.allclose(
+            aggregate_time(ds, 2, how="sum").features[0, :2, 0], [3, 7])
+        assert np.allclose(
+            aggregate_time(ds, 2, how="max").features[0, :2, 0], [2, 4])
+
+    def test_factor_one_is_identity(self):
+        ds = simple_dataset([4], [[1, 2, 3, 4]])
+        assert aggregate_time(ds, 1) is ds
+
+    def test_padding_stays_zero(self):
+        ds = simple_dataset([3, 8], [[5, 5, 5], [1] * 8])
+        out = aggregate_time(ds, factor=4)
+        assert out.lengths.tolist() == [1, 2]
+        assert np.all(out.features[0, 1:] == 0.0)
+
+    def test_validation(self):
+        ds = simple_dataset([4], [[1, 2, 3, 4]])
+        with pytest.raises(ValueError, match="factor"):
+            aggregate_time(ds, 0)
+        with pytest.raises(ValueError, match="how"):
+            aggregate_time(ds, 2, how="median")
+
+    def test_collection_period_annotated(self):
+        ds = simple_dataset([4], [[1, 2, 3, 4]])
+        out = aggregate_time(ds, 2)
+        assert out.schema.collection_period == "2 x hourly"
+
+    def test_categorical_feature_takes_first_valid(self):
+        schema = DataSchema(
+            attributes=(),
+            features=(CategoricalSpec("s", ("a", "b", "c")),),
+            max_length=4)
+        feats = np.array([[[1], [2], [0], [0]]], dtype=float)
+        ds = TimeSeriesDataset(schema=schema, attributes=np.zeros((1, 0)),
+                               features=feats, lengths=np.array([2]))
+        out = aggregate_time(ds, 2)
+        assert out.features[0, 0, 0] == 1.0
+        assert out.lengths[0] == 1
+
+    def test_mba_style_pipeline(self, tiny_mba):
+        """Aggregate the MBA trace 4x (6h -> daily) and keep totals."""
+        daily = aggregate_time(tiny_mba, factor=4, how="sum")
+        assert daily.schema.max_length == tiny_mba.schema.max_length // 4
+        orig_total = tiny_mba.feature_column("traffic_bytes").sum()
+        new_total = daily.feature_column("traffic_bytes").sum()
+        assert new_total == pytest.approx(orig_total)

@@ -1,0 +1,106 @@
+"""Tests for schema declarations and (de)serialisation."""
+
+import pytest
+
+from repro.data.schema import (CategoricalSpec, ContinuousSpec, DataSchema,
+                               schema_from_dict, schema_to_dict)
+
+
+def simple_schema(**kwargs) -> DataSchema:
+    defaults = dict(
+        attributes=(CategoricalSpec("kind", ("a", "b", "c")),
+                    ContinuousSpec("weight", low=0.0, high=1.0)),
+        features=(ContinuousSpec("value", low=0.0),
+                  CategoricalSpec("state", ("x", "y"))),
+        max_length=10,
+    )
+    defaults.update(kwargs)
+    return DataSchema(**defaults)
+
+
+class TestCategoricalSpec:
+    def test_dimension(self):
+        assert CategoricalSpec("c", ("a", "b", "c")).dimension == 3
+
+    def test_needs_two_categories(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            CategoricalSpec("c", ("only",))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CategoricalSpec("c", ("a", "a"))
+
+    def test_index_of(self):
+        spec = CategoricalSpec("c", ("a", "b"))
+        assert spec.index_of("b") == 1
+        with pytest.raises(KeyError):
+            spec.index_of("zzz")
+
+    def test_is_categorical(self):
+        assert CategoricalSpec("c", ("a", "b")).is_categorical
+
+
+class TestContinuousSpec:
+    def test_dimension_is_one(self):
+        assert ContinuousSpec("v").dimension == 1
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError, match="low must be"):
+            ContinuousSpec("v", low=2.0, high=1.0)
+
+    def test_bad_normalization(self):
+        with pytest.raises(ValueError, match="normalization"):
+            ContinuousSpec("v", normalization="weird")
+
+    def test_not_categorical(self):
+        assert not ContinuousSpec("v").is_categorical
+
+
+class TestDataSchema:
+    def test_dimensions(self):
+        schema = simple_schema()
+        assert schema.attribute_dimension == 3 + 1
+        assert schema.feature_dimension == 1 + 2
+        assert schema.continuous_feature_count == 1
+
+    def test_requires_features(self):
+        with pytest.raises(ValueError, match="at least one feature"):
+            simple_schema(features=())
+
+    def test_unique_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            simple_schema(features=(ContinuousSpec("kind"),
+                                    ContinuousSpec("v")))
+
+    def test_max_length_positive(self):
+        with pytest.raises(ValueError, match="max_length"):
+            simple_schema(max_length=0)
+
+    def test_lookup(self):
+        schema = simple_schema()
+        assert schema.attribute("kind").dimension == 3
+        assert schema.feature("value").dimension == 1
+        with pytest.raises(KeyError):
+            schema.attribute("nope")
+        with pytest.raises(KeyError):
+            schema.feature("nope")
+
+    def test_slices(self):
+        schema = simple_schema()
+        attr_slices = schema.attribute_slices()
+        assert attr_slices["kind"] == slice(0, 3)
+        assert attr_slices["weight"] == slice(3, 4)
+        feat_slices = schema.feature_slices()
+        assert feat_slices["value"] == slice(0, 1)
+        assert feat_slices["state"] == slice(1, 3)
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        schema = simple_schema(collection_period="daily")
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored == schema
+
+    def test_dict_is_json_safe(self):
+        import json
+        json.dumps(schema_to_dict(simple_schema()))

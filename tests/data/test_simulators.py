@@ -1,0 +1,170 @@
+"""Tests that the simulators exhibit the Table-2 properties the paper needs."""
+
+import numpy as np
+import pytest
+
+from repro.data.simulators import (GCUT_END_EVENT_TYPES, generate_gcut,
+                                   generate_mba, generate_wwt,
+                                   make_gcut_schema, make_mba_schema,
+                                   make_wwt_schema)
+from repro.metrics import average_autocorrelation
+
+
+RNG_SEED = 99
+
+
+class TestWWTSchema:
+    """Table 6: 3 categorical attributes, 1 feature, fixed length."""
+
+    def test_schema_fields(self):
+        schema = make_wwt_schema(length=100)
+        names = [f.name for f in schema.attributes]
+        assert names == ["wikipedia_domain", "access_type", "agent"]
+        assert schema.attribute("wikipedia_domain").dimension == 9
+        assert schema.attribute("access_type").dimension == 3
+        assert schema.attribute("agent").dimension == 2
+        assert len(schema.features) == 1
+        assert schema.max_length == 100
+
+    def test_fixed_length(self):
+        ds = generate_wwt(20, np.random.default_rng(RNG_SEED), length=56,
+                          long_period=28)
+        assert np.all(ds.lengths == 56)
+
+    def test_nonnegative_views(self):
+        ds = generate_wwt(20, np.random.default_rng(RNG_SEED), length=56,
+                          long_period=28)
+        assert ds.features.min() >= 0.0
+
+    def test_weekly_and_long_period_autocorrelation(self):
+        """The two Figure-1 peaks must be present in the real data."""
+        ds = generate_wwt(200, np.random.default_rng(RNG_SEED), length=112,
+                          long_period=28)
+        acf = average_autocorrelation(ds.feature_column("daily_views"),
+                                      max_lag=30)
+        assert acf[7] > acf[3]          # weekly peak
+        assert acf[7] > acf[10]
+        assert acf[28] > acf[18]        # long-period peak
+
+    def test_wide_dynamic_range(self):
+        """The §4.1.3 stressor: levels spanning orders of magnitude."""
+        ds = generate_wwt(300, np.random.default_rng(RNG_SEED), length=56,
+                          long_period=28)
+        means = ds.feature_column("daily_views").mean(axis=1)
+        assert means.max() / (means.min() + 1e-9) > 100
+
+    def test_attribute_level_correlation(self):
+        """en.wikipedia pages get more traffic than www.mediawiki pages."""
+        ds = generate_wwt(2000, np.random.default_rng(RNG_SEED), length=28,
+                          long_period=14)
+        domain = ds.attribute_column("wikipedia_domain")
+        means = ds.feature_column("daily_views").mean(axis=1)
+        en = np.log(means[domain == 2] + 1).mean()
+        mediawiki = np.log(means[domain == 7] + 1).mean()
+        assert en > mediawiki + 1.0
+
+    def test_nonuniform_attribute_marginals(self):
+        ds = generate_wwt(2000, np.random.default_rng(RNG_SEED), length=28,
+                          long_period=14)
+        counts = np.bincount(ds.attribute_column("agent").astype(int),
+                             minlength=2)
+        assert counts[0] > 2 * counts[1]
+
+
+class TestMBASchema:
+    """Table 7: technology/ISP/state attributes, 2 features."""
+
+    def test_schema_fields(self):
+        schema = make_mba_schema()
+        names = [f.name for f in schema.attributes]
+        assert names == ["technology", "isp", "state"]
+        assert schema.attribute("technology").dimension == 5
+        assert schema.attribute("isp").dimension == 14
+        assert schema.attribute("state").dimension == 50
+        feature_names = [f.name for f in schema.features]
+        assert feature_names == ["ping_loss_rate", "traffic_bytes"]
+
+    def test_loss_rate_in_unit_interval(self):
+        ds = generate_mba(50, np.random.default_rng(RNG_SEED))
+        loss = ds.feature_column("ping_loss_rate")
+        assert loss.min() >= 0.0 and loss.max() <= 1.0
+
+    def test_cable_exceeds_dsl_bandwidth(self):
+        """The Table-3 / Figure-9 structure: cable users consume more."""
+        ds = generate_mba(2000, np.random.default_rng(RNG_SEED))
+        tech = ds.attribute_column("technology")
+        totals = ds.feature_column("traffic_bytes").sum(axis=1)
+        dsl = totals[tech == 0].mean()
+        cable = totals[tech == 3].mean()
+        assert cable > 1.5 * dsl
+
+    def test_satellite_is_lossy(self):
+        ds = generate_mba(2000, np.random.default_rng(RNG_SEED))
+        tech = ds.attribute_column("technology")
+        loss = ds.feature_column("ping_loss_rate").mean(axis=1)
+        assert loss[tech == 2].mean() > 3 * loss[tech == 0].mean()
+
+    def test_isp_technology_correlation(self):
+        """Satellite homes are served by satellite ISPs (Hughes/ViaSat)."""
+        ds = generate_mba(2000, np.random.default_rng(RNG_SEED))
+        tech = ds.attribute_column("technology")
+        isp = ds.attribute_column("isp")
+        satellite_isps = isp[tech == 2]
+        assert set(np.unique(satellite_isps)) <= {6.0, 8.0}
+
+    def test_diurnal_autocorrelation(self):
+        ds = generate_mba(300, np.random.default_rng(RNG_SEED))
+        acf = average_autocorrelation(ds.feature_column("traffic_bytes"),
+                                      max_lag=8)
+        assert acf[4] > acf[2]  # period-4 diurnal peak
+
+
+class TestGCUTSchema:
+    """Table 5: end-event attribute, 9 features, variable length."""
+
+    def test_schema_fields(self):
+        schema = make_gcut_schema()
+        assert [f.name for f in schema.attributes] == ["end_event_type"]
+        assert schema.attribute("end_event_type").categories == \
+            GCUT_END_EVENT_TYPES
+        assert len(schema.features) == 9
+
+    def test_variable_lengths(self):
+        ds = generate_gcut(300, np.random.default_rng(RNG_SEED))
+        assert len(np.unique(ds.lengths)) > 10
+
+    def test_bimodal_duration(self):
+        """The Figure-7 structure: two clear modes in task duration."""
+        ds = generate_gcut(3000, np.random.default_rng(RNG_SEED),
+                           max_length=50)
+        hist = np.bincount(ds.lengths, minlength=51)[1:]
+        short_mode = hist[:20].max()
+        long_mode = hist[25:].max()
+        valley = hist[18:25].min()
+        assert short_mode > 2 * valley
+        assert long_mode > 2 * valley
+
+    def test_features_in_unit_interval(self):
+        ds = generate_gcut(100, np.random.default_rng(RNG_SEED))
+        assert ds.features.min() >= 0.0 and ds.features.max() <= 1.0
+
+    def test_fail_tasks_show_memory_growth(self):
+        """The §1 motivating correlation: memory rises before FAIL."""
+        ds = generate_gcut(3000, np.random.default_rng(RNG_SEED))
+        event = ds.attribute_column("end_event_type")
+        mem = ds.feature_column("canonical_memory_usage")
+        n = len(ds)
+        last = mem[np.arange(n), ds.lengths - 1]
+        growth = last - mem[:, 0]
+        assert growth[event == 1].mean() > growth[event == 2].mean() + 0.05
+
+    def test_event_marginal_nonuniform(self):
+        ds = generate_gcut(3000, np.random.default_rng(RNG_SEED))
+        counts = np.bincount(ds.attribute_column("end_event_type").astype(int),
+                             minlength=4)
+        assert counts[2] > counts[0]  # FINISH much more common than EVICT
+
+    def test_padding_zeroed(self):
+        ds = generate_gcut(50, np.random.default_rng(RNG_SEED), max_length=20)
+        for i in range(len(ds)):
+            assert np.all(ds.features[i, ds.lengths[i]:] == 0.0)

@@ -1,0 +1,40 @@
+"""Tests for the Figure-10 evaluation split protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import make_split, synthesize_split
+
+
+class FakeModel:
+    """Generates by resampling a reference dataset."""
+
+    def __init__(self, dataset):
+        self.dataset = dataset
+
+    def generate(self, n, rng=None):
+        rng = rng or np.random.default_rng()
+        return self.dataset.subsample(min(n, len(self.dataset)), rng)
+
+
+class TestMakeSplit:
+    def test_halves_are_disjoint_and_equal(self, tiny_gcut, rng):
+        split = make_split(tiny_gcut, rng)
+        assert len(split.train_real) == len(split.test_real) == \
+            len(tiny_gcut) // 2
+        # Disjoint: every (features) row of A differs from every row of A'.
+        a = split.train_real.features.reshape(len(split.train_real), -1)
+        ap = split.test_real.features.reshape(len(split.test_real), -1)
+        cross = (a[:, None, :] == ap[None, :, :]).all(axis=2)
+        assert not cross.any()
+
+    def test_too_small_raises(self, tiny_gcut, rng):
+        with pytest.raises(ValueError, match="at least 2"):
+            make_split(tiny_gcut[0], rng)
+
+    def test_synthetic_halves_filled(self, tiny_gcut, rng):
+        split = make_split(tiny_gcut, rng)
+        model = FakeModel(tiny_gcut)
+        synthesize_split(split, model, rng)
+        assert len(split.train_synthetic) == len(split.train_real)
+        assert len(split.test_synthetic) == len(split.test_real)

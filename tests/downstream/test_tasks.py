@@ -1,0 +1,114 @@
+"""Tests for the downstream task plumbing (Figure 10/11/27 protocols)."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import make_split, synthesize_split
+from repro.downstream import (GaussianNaiveBayes, LinearRegressionModel,
+                              LogisticRegression, algorithm_ranking,
+                              event_prediction_features, forecasting_arrays,
+                              train_real_test_real,
+                              train_synthetic_test_real)
+
+
+class ResamplingModel:
+    """Stand-in generative model: bootstrap the training data."""
+
+    name = "resample"
+
+    def __init__(self, dataset):
+        self.dataset = dataset
+
+    def generate(self, n, rng=None):
+        rng = rng or np.random.default_rng()
+        idx = rng.integers(0, len(self.dataset), size=n)
+        return self.dataset[idx]
+
+
+class TestEventPredictionFeatures:
+    def test_shapes(self, tiny_gcut):
+        x, y = event_prediction_features(tiny_gcut)
+        assert x.shape == (len(tiny_gcut), 9 * 5 + 1)
+        assert y.shape == (len(tiny_gcut),)
+        assert np.isfinite(x).all()
+
+    def test_labels_are_event_types(self, tiny_gcut):
+        _, y = event_prediction_features(tiny_gcut)
+        assert set(y) <= {0, 1, 2, 3}
+
+    def test_features_are_informative(self, tiny_gcut):
+        """A simple classifier on these features beats the majority class
+        (the simulator encodes event-specific dynamics)."""
+        from repro.data.simulators import generate_gcut
+        big = generate_gcut(800, np.random.default_rng(0), max_length=16)
+        x, y = event_prediction_features(big)
+        model = LogisticRegression(iterations=500)
+        model.fit(x[:600], y[:600])
+        acc = (model.predict(x[600:]) == y[600:]).mean()
+        majority = max(np.bincount(y[600:]) / len(y[600:]))
+        assert acc > majority + 0.05
+
+
+class TestForecastingArrays:
+    def test_shapes(self, tiny_wwt):
+        x, y = forecasting_arrays(tiny_wwt, "daily_views", history=20,
+                                  horizon=8)
+        assert x.shape == (len(tiny_wwt), 20)
+        assert y.shape == (len(tiny_wwt), 8)
+
+    def test_too_long_horizon_raises(self, tiny_wwt):
+        with pytest.raises(ValueError, match="exceeds"):
+            forecasting_arrays(tiny_wwt, "daily_views", history=25,
+                               horizon=25)
+
+    def test_log_transform(self, tiny_wwt):
+        x_log, _ = forecasting_arrays(tiny_wwt, "daily_views", 10, 5,
+                                      log_transform=True)
+        x_raw, _ = forecasting_arrays(tiny_wwt, "daily_views", 10, 5,
+                                      log_transform=False)
+        assert np.allclose(x_log, np.log1p(x_raw))
+
+
+class TestProtocols:
+    def test_train_synthetic_test_real(self, tiny_gcut, rng):
+        split = make_split(tiny_gcut, rng)
+        synthesize_split(split, ResamplingModel(split.train_real), rng)
+        score = train_synthetic_test_real(split, GaussianNaiveBayes(),
+                                          event_prediction_features)
+        assert 0.0 <= score <= 1.0
+
+    def test_requires_synthetic_data(self, tiny_gcut, rng):
+        split = make_split(tiny_gcut, rng)
+        with pytest.raises(ValueError, match="no synthetic"):
+            train_synthetic_test_real(split, GaussianNaiveBayes(),
+                                      event_prediction_features)
+
+    def test_train_real_baseline(self, tiny_gcut, rng):
+        split = make_split(tiny_gcut, rng)
+        score = train_real_test_real(split, GaussianNaiveBayes(),
+                                     event_prediction_features)
+        assert 0.0 <= score <= 1.0
+
+    def test_wrong_model_type_raises(self, tiny_gcut, rng):
+        split = make_split(tiny_gcut, rng)
+        with pytest.raises(TypeError, match="Classifier or Regressor"):
+            train_real_test_real(split, object(), event_prediction_features)
+
+
+class TestAlgorithmRanking:
+    def test_resampling_model_preserves_ranking_fields(self, tiny_gcut, rng):
+        split = make_split(tiny_gcut, rng)
+        synthesize_split(split, ResamplingModel(split.train_real), rng)
+        models = [GaussianNaiveBayes(), LogisticRegression(iterations=50)]
+        result = algorithm_ranking(split, models, event_prediction_features)
+        assert len(result.real_scores) == 2
+        assert len(result.synthetic_scores) == 2
+        assert -1.0 <= result.rank_correlation <= 1.0
+        assert result.model_names == ["NaiveBayes", "LogisticRegression"]
+
+    def test_needs_both_synthetic_halves(self, tiny_gcut, rng):
+        split = make_split(tiny_gcut, rng)
+        split.train_synthetic = split.train_real
+        with pytest.raises(ValueError, match="B and B'"):
+            algorithm_ranking(split, [GaussianNaiveBayes()],
+                              event_prediction_features)

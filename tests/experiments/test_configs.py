@@ -1,0 +1,67 @@
+"""Tests for benchmark-scale configuration helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (BENCH, BenchScale, baseline_kwargs,
+                               make_dataset, make_dg_config)
+
+
+class TestMakeDataset:
+    @pytest.mark.parametrize("name", ["wwt", "mba", "gcut"])
+    def test_builds_each_dataset(self, name):
+        scale = BenchScale(n_samples=20)
+        ds = make_dataset(name, scale)
+        assert len(ds) == 20
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("imagenet")
+
+    def test_seed_reproducible(self):
+        scale = BenchScale(n_samples=10)
+        a = make_dataset("gcut", scale, seed=5)
+        b = make_dataset("gcut", scale, seed=5)
+        assert np.array_equal(a.features, b.features)
+
+    def test_n_override(self):
+        ds = make_dataset("wwt", BenchScale(n_samples=50), n=7)
+        assert len(ds) == 7
+
+
+class TestMakeDGConfig:
+    @pytest.mark.parametrize("name", ["wwt", "mba", "gcut"])
+    def test_sample_len_divides_length(self, name):
+        scale = BenchScale()
+        config = make_dg_config(name, scale)
+        lengths = {"wwt": scale.wwt_length, "mba": scale.mba_length,
+                   "gcut": scale.gcut_length}
+        assert lengths[name] % config.sample_len == 0
+
+    def test_overrides_apply(self):
+        config = make_dg_config("gcut", iterations=7,
+                                aux_discriminator_weight=2.5)
+        assert config.iterations == 7
+        assert config.aux_discriminator_weight == 2.5
+
+    def test_bad_override_caught(self):
+        with pytest.raises(ValueError, match="divide"):
+            make_dg_config("gcut", sample_len=7)
+
+
+class TestBaselineKwargs:
+    @pytest.mark.parametrize("name", ["hmm", "ar", "rnn", "naive_gan"])
+    def test_known_baselines(self, name):
+        assert isinstance(baseline_kwargs(name), dict)
+
+    def test_unknown_baseline_raises(self):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            baseline_kwargs("diffusion")
+
+    def test_kwargs_construct_models(self):
+        from repro.baselines import (ARBaseline, HMMBaseline,
+                                     NaiveGANBaseline, RNNBaseline)
+        classes = {"hmm": HMMBaseline, "ar": ARBaseline, "rnn": RNNBaseline,
+                   "naive_gan": NaiveGANBaseline}
+        for name, cls in classes.items():
+            cls(**baseline_kwargs(name))

@@ -1,0 +1,86 @@
+"""Tests for the benchmark harness (caching, table printers)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (BenchScale, clear_cache, get_dataset,
+                               get_model, print_series, print_table)
+
+TINY = BenchScale(n_samples=30, gcut_length=8, dg_iterations=4,
+                  baseline_iterations=4, hidden_width=12, rnn_units=8,
+                  batch_size=8)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCaching:
+    def test_dataset_cached(self):
+        a = get_dataset("gcut", TINY)
+        b = get_dataset("gcut", TINY)
+        assert a is b
+
+    def test_model_cached_by_key(self):
+        a = get_model("gcut", "hmm", TINY)
+        b = get_model("gcut", "hmm", TINY)
+        assert a is b
+
+    def test_variants_are_distinct(self):
+        a = get_model("gcut", "dg", TINY)
+        b = get_model("gcut", "dg", TINY, cache_tag="variant",
+                      use_auxiliary_discriminator=False)
+        assert a is not b
+        assert b.aux_discriminator is None
+
+    def test_trained_model_generates(self):
+        model = get_model("gcut", "dg", TINY)
+        syn = model.generate(5, rng=np.random.default_rng(0))
+        assert len(syn) == 5
+
+
+class TestPrinters:
+    def test_print_table_alignment(self, capsys):
+        print_table("My Table", ["name", "value"],
+                    [["alpha", 0.123456], ["b", 42]])
+        out = capsys.readouterr().out
+        assert "My Table" in out
+        assert "0.123" in out
+        assert "42" in out
+
+    def test_print_series(self, capsys):
+        print_series("Curve", "x", [1, 2], {"y": [0.1, 0.2]})
+        out = capsys.readouterr().out
+        assert "Curve" in out
+        assert "0.200" in out
+
+    def test_print_table_empty_rows(self, capsys):
+        print_table("Empty", ["a"], [])
+        assert "Empty" in capsys.readouterr().out
+
+
+class TestGetSplit:
+    def test_split_has_all_four_quadrants(self):
+        from repro.experiments import get_split
+        split = get_split("gcut", "hmm", TINY)
+        assert len(split.train_real) == len(split.train_synthetic)
+        assert len(split.test_real) == len(split.test_synthetic)
+
+    def test_split_cached(self):
+        from repro.experiments import get_split
+        a = get_split("gcut", "hmm", TINY)
+        b = get_split("gcut", "hmm", TINY)
+        assert a is b
+
+    def test_model_trained_on_train_half_only(self):
+        """The generative model inside a split must be fitted on A, not on
+        the full dataset (the Figure-10 protocol)."""
+        from repro.experiments import get_dataset, get_model, get_split
+        split = get_split("gcut", "hmm", TINY)
+        model = get_model("gcut", "hmm", TINY,
+                          train_data=split.train_real)
+        # The HMM's attribute sampler stores its training rows verbatim.
+        assert len(model.attribute_sampler._rows) == len(split.train_real)

@@ -1,0 +1,71 @@
+"""End-to-end CLI tests (the Figure-2 workflow from the command line)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.dataset import TimeSeriesDataset
+
+
+@pytest.fixture
+def workdir(tmp_path):
+    return tmp_path
+
+
+class TestSimulate:
+    def test_simulate_writes_dataset(self, workdir, capsys):
+        out = workdir / "data.npz"
+        assert main(["simulate", "--dataset", "gcut", "--n", "30",
+                     "--length", "8", "--out", str(out)]) == 0
+        data = TimeSeriesDataset.load(out)
+        assert len(data) == 30
+        assert "30 objects" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("name", ["wwt", "mba"])
+    def test_other_datasets(self, workdir, name):
+        out = workdir / "data.npz"
+        assert main(["simulate", "--dataset", name, "--n", "10",
+                     "--out", str(out)]) == 0
+        assert len(TimeSeriesDataset.load(out)) == 10
+
+
+class TestFullWorkflow:
+    def test_simulate_train_generate_inspect(self, workdir, capsys):
+        data_path = workdir / "data.npz"
+        model_path = workdir / "model.npz"
+        synth_path = workdir / "synth.npz"
+        main(["simulate", "--dataset", "gcut", "--n", "40", "--length", "8",
+              "--out", str(data_path)])
+        assert main(["train", "--data", str(data_path), "--out",
+                     str(model_path), "--iterations", "4", "--hidden", "16",
+                     "--batch-size", "8"]) == 0
+        assert main(["generate", "--model", str(model_path), "--n", "12",
+                     "--out", str(synth_path)]) == 0
+        synthetic = TimeSeriesDataset.load(synth_path)
+        assert len(synthetic) == 12
+        assert main(["inspect", "--data", str(synth_path)]) == 0
+        out = capsys.readouterr().out
+        assert "end_event_type" in out
+        assert "objects: 12" in out
+
+    def test_train_flags(self, workdir):
+        data_path = workdir / "data.npz"
+        model_path = workdir / "model.npz"
+        main(["simulate", "--dataset", "gcut", "--n", "30", "--length", "8",
+              "--out", str(data_path)])
+        assert main(["train", "--data", str(data_path), "--out",
+                     str(model_path), "--iterations", "3", "--hidden", "12",
+                     "--batch-size", "8", "--no-minmax", "--no-aux"]) == 0
+        from repro.core import DoppelGANger
+        model = DoppelGANger.load(model_path)
+        assert model.aux_discriminator is None
+        assert model.encoder.minmax_dim == 0
+
+
+def test_dataset_save_load_roundtrip(tiny_gcut, tmp_path):
+    path = tmp_path / "ds.npz"
+    tiny_gcut.save(path)
+    loaded = TimeSeriesDataset.load(path)
+    assert loaded.schema == tiny_gcut.schema
+    assert np.array_equal(loaded.features, tiny_gcut.features)
+    assert np.array_equal(loaded.lengths, tiny_gcut.lengths)

@@ -1,0 +1,79 @@
+"""Tests for conditional-distribution fidelity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.conditional import conditional_w1, per_object_statistic
+
+
+class TestPerObjectStatistic:
+    def test_sum_excludes_padding(self, tiny_gcut):
+        total = per_object_statistic(tiny_gcut, "cpu_rate", "sum")
+        i = 0
+        expected = tiny_gcut.features[i, :tiny_gcut.lengths[i], 0].sum()
+        assert total[i] == pytest.approx(expected)
+
+    def test_mean(self, tiny_gcut):
+        mean = per_object_statistic(tiny_gcut, "cpu_rate", "mean")
+        total = per_object_statistic(tiny_gcut, "cpu_rate", "sum")
+        assert np.allclose(mean, total / tiny_gcut.lengths)
+
+    def test_max(self, tiny_gcut):
+        peak = per_object_statistic(tiny_gcut, "cpu_rate", "max")
+        i = int(np.argmax(tiny_gcut.lengths))
+        expected = tiny_gcut.features[i, :tiny_gcut.lengths[i], 0].max()
+        assert peak[i] == pytest.approx(expected)
+
+    def test_length(self, tiny_gcut):
+        lengths = per_object_statistic(tiny_gcut, "cpu_rate", "length")
+        assert np.array_equal(lengths, tiny_gcut.lengths)
+
+    def test_unknown_statistic(self, tiny_gcut):
+        with pytest.raises(ValueError, match="statistic"):
+            per_object_statistic(tiny_gcut, "cpu_rate", "median")
+
+
+class TestConditionalW1:
+    def test_identical_data_near_zero(self, tiny_mba):
+        result = conditional_w1(tiny_mba, tiny_mba, "technology",
+                                "traffic_bytes")
+        finite = [v for k, v in result.items()
+                  if k != "__macro__" and np.isfinite(v)]
+        assert all(v == 0.0 for v in finite)
+        assert result["__macro__"] == 0.0
+
+    def test_category_labels_as_keys(self, tiny_mba):
+        result = conditional_w1(tiny_mba, tiny_mba, "technology",
+                                "traffic_bytes")
+        assert "DSL" in result and "Cable" in result
+
+    def test_sparse_categories_are_nan(self, tiny_mba):
+        """Categories with too few samples on either side yield NaN rather
+        than a meaningless distance."""
+        result = conditional_w1(tiny_mba, tiny_mba, "technology",
+                                "traffic_bytes", min_samples=10 ** 6)
+        assert all(np.isnan(v) for k, v in result.items())
+
+    def test_detects_conditional_shift(self, tiny_mba):
+        """Scaling one technology's traffic must show up in that category."""
+        from repro.data.dataset import TimeSeriesDataset
+        shifted_feats = tiny_mba.features.copy()
+        cable = tiny_mba.attribute_column("technology") == 3
+        shifted_feats[cable, :, 1] *= 10.0
+        shifted = TimeSeriesDataset(schema=tiny_mba.schema,
+                                    attributes=tiny_mba.attributes,
+                                    features=shifted_feats,
+                                    lengths=tiny_mba.lengths)
+        result = conditional_w1(tiny_mba, shifted, "technology",
+                                "traffic_bytes")
+        if np.isfinite(result["Cable"]) and np.isfinite(result["DSL"]):
+            assert result["Cable"] > result["DSL"]
+
+    def test_non_categorical_attribute_rejected(self, tiny_mba):
+        with pytest.raises(KeyError):
+            conditional_w1(tiny_mba, tiny_mba, "bogus", "traffic_bytes")
+
+    def test_schema_mismatch_rejected(self, tiny_mba, tiny_gcut):
+        with pytest.raises(ValueError, match="schemas differ"):
+            conditional_w1(tiny_mba, tiny_gcut, "technology",
+                           "traffic_bytes")

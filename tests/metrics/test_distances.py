@@ -1,0 +1,110 @@
+"""Tests for Wasserstein-1 and JSD."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (categorical_jsd, jensen_shannon_divergence,
+                           total_variation, wasserstein1)
+
+
+class TestWasserstein1:
+    def test_identical_samples_zero(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert wasserstein1(a, a.copy()) == 0.0
+
+    def test_shifted_point_masses(self):
+        assert wasserstein1(np.zeros(10), np.full(10, 2.5)) == \
+            pytest.approx(2.5)
+
+    def test_shifted_uniforms(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0, 1, 20000)
+        b = rng.uniform(3, 4, 20000)
+        assert wasserstein1(a, b) == pytest.approx(3.0, abs=0.02)
+
+    def test_matches_scipy(self):
+        from scipy.stats import wasserstein_distance
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=500)
+        b = rng.normal(loc=1.0, scale=2.0, size=300)
+        assert wasserstein1(a, b) == pytest.approx(
+            wasserstein_distance(a, b), abs=1e-9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            wasserstein1(np.array([]), np.array([1.0]))
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=100), rng.normal(size=150)
+        assert wasserstein1(a, b) == pytest.approx(wasserstein1(b, a))
+
+
+class TestJSD:
+    def test_identical_is_zero(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0)
+
+    def test_disjoint_is_one(self):
+        assert jensen_shannon_divergence(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(1.0)
+
+    def test_unnormalised_counts_accepted(self):
+        a = jensen_shannon_divergence(np.array([2.0, 6.0]),
+                                      np.array([30.0, 10.0]))
+        b = jensen_shannon_divergence(np.array([0.25, 0.75]),
+                                      np.array([0.75, 0.25]))
+        assert a == pytest.approx(b)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="support"):
+            jensen_shannon_divergence(np.ones(2), np.ones(3))
+
+    def test_zero_mass_raises(self):
+        with pytest.raises(ValueError, match="positive mass"):
+            jensen_shannon_divergence(np.zeros(2), np.ones(2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.01, 10), min_size=2, max_size=8),
+           st.lists(st.floats(0.01, 10), min_size=2, max_size=8))
+    def test_bounds_and_symmetry_property(self, p, q):
+        n = min(len(p), len(q))
+        p, q = np.array(p[:n]), np.array(q[:n])
+        d = jensen_shannon_divergence(p, q)
+        assert 0.0 <= d <= 1.0 + 1e-12
+        assert d == pytest.approx(jensen_shannon_divergence(q, p))
+
+
+class TestCategoricalJSD:
+    def test_same_distribution_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 5000)
+        b = rng.integers(0, 4, 5000)
+        assert categorical_jsd(a, b, 4) < 0.001
+
+    def test_missing_category_detected(self):
+        a = np.array([0, 1, 2, 3] * 100)
+        b = np.array([0, 1, 2] * 100)  # category 3 dropped (mode collapse)
+        assert categorical_jsd(a, b, 4) > 0.05
+
+
+class TestTotalVariation:
+    def test_known_value(self):
+        assert total_variation(np.array([1.0, 0.0]),
+                               np.array([0.5, 0.5])) == pytest.approx(0.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-50, 50), min_size=2, max_size=12),
+       st.lists(st.floats(-50, 50), min_size=2, max_size=12),
+       st.lists(st.floats(-50, 50), min_size=2, max_size=12))
+def test_wasserstein1_is_a_metric_property(a, b, c):
+    """Symmetry, identity, and triangle inequality on samples."""
+    a, b, c = np.array(a), np.array(b), np.array(c)
+    d_ab = wasserstein1(a, b)
+    assert d_ab >= 0
+    assert d_ab == pytest.approx(wasserstein1(b, a))
+    assert wasserstein1(a, a.copy()) == pytest.approx(0.0, abs=1e-12)
+    assert d_ab <= wasserstein1(a, c) + wasserstein1(c, b) + 1e-9

@@ -1,0 +1,87 @@
+"""Tests for distributional summaries (lengths, histograms, diversity)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (attribute_histogram, diversity_score,
+                           empirical_cdf, length_histogram, mode_coverage,
+                           per_object_total)
+
+
+class TestLengthHistogram:
+    def test_counts(self, tiny_gcut):
+        hist = length_histogram(tiny_gcut)
+        assert hist.sum() == len(tiny_gcut)
+        assert len(hist) == tiny_gcut.schema.max_length
+        for length in range(1, tiny_gcut.schema.max_length + 1):
+            assert hist[length - 1] == (tiny_gcut.lengths == length).sum()
+
+
+class TestAttributeHistogram:
+    def test_counts(self, tiny_gcut):
+        hist = attribute_histogram(tiny_gcut, "end_event_type")
+        assert hist.sum() == len(tiny_gcut)
+        assert len(hist) == 4
+
+    def test_continuous_attribute_rejected(self, tiny_gcut):
+        with pytest.raises(KeyError):
+            attribute_histogram(tiny_gcut, "not_an_attribute")
+
+
+class TestPerObjectTotal:
+    def test_sums_valid_steps_only(self, tiny_gcut):
+        totals = per_object_total(tiny_gcut, "cpu_rate")
+        i = 0
+        expected = tiny_gcut.features[i, :tiny_gcut.lengths[i], 0].sum()
+        assert totals[i] == pytest.approx(expected)
+
+
+class TestEmpiricalCDF:
+    def test_monotone_and_bounded(self):
+        rng = np.random.default_rng(0)
+        grid, cdf = empirical_cdf(rng.normal(size=100))
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == 1.0
+
+    def test_custom_grid(self):
+        values = np.array([1.0, 2.0, 3.0])
+        grid, cdf = empirical_cdf(values, grid=np.array([0.0, 2.0, 10.0]))
+        assert np.allclose(cdf, [0.0, 2 / 3, 1.0])
+
+
+class TestDiversityScore:
+    def test_identical_samples_score_zero(self):
+        rng = np.random.default_rng(0)
+        one = rng.normal(size=(1, 50))
+        collapsed = np.repeat(one, 20, axis=0)
+        assert diversity_score(collapsed) == pytest.approx(0.0)
+
+    def test_wide_range_scores_high(self):
+        rng = np.random.default_rng(0)
+        levels = np.exp(rng.normal(0, 2, size=(50, 1)))
+        varied = levels * (1 + 0.01 * rng.normal(size=(50, 30)))
+        assert diversity_score(varied) > 0.5
+
+    def test_detects_mode_collapse_ordering(self):
+        """A collapsed sample set must score lower than a diverse one."""
+        rng = np.random.default_rng(1)
+        diverse = np.exp(rng.normal(0, 1.5, size=(40, 1))) + \
+            rng.normal(0, 0.1, size=(40, 25))
+        collapsed = 1.0 + rng.normal(0, 0.1, size=(40, 25))
+        assert diversity_score(collapsed) < diversity_score(diverse)
+
+
+class TestModeCoverage:
+    def test_full_coverage(self):
+        real = np.array([0, 1, 2, 3] * 50)
+        assert mode_coverage(real, real, 4) == 4
+
+    def test_dropped_mode_detected(self):
+        real = np.array([0, 1, 2, 3] * 50)
+        syn = np.array([0, 1, 2] * 50)
+        assert mode_coverage(real, syn, 4) == 3
+
+    def test_unused_real_category_counts_as_covered(self):
+        real = np.array([0, 1] * 50)
+        syn = np.array([0, 1] * 50)
+        assert mode_coverage(real, syn, 3) == 3

@@ -1,0 +1,53 @@
+"""Tests for the nearest-neighbour memorization check."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import memorization_ratio, nearest_neighbors
+
+
+class TestNearestNeighbors:
+    def test_exact_copy_has_zero_distance(self):
+        rng = np.random.default_rng(0)
+        train = rng.normal(size=(20, 10))
+        result = nearest_neighbors(train[:5], train, k=1)
+        assert np.allclose(result.distances, 0.0)
+        assert np.array_equal(result.indices[:, 0], np.arange(5))
+
+    def test_k_ordering(self):
+        rng = np.random.default_rng(1)
+        train = rng.normal(size=(30, 8))
+        result = nearest_neighbors(rng.normal(size=(4, 8)), train, k=3)
+        assert (np.diff(result.distances, axis=1) >= 0).all()
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            nearest_neighbors(np.zeros((2, 5)), np.zeros((3, 6)))
+
+    def test_k_too_large_raises(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            nearest_neighbors(np.zeros((2, 5)), np.zeros((3, 5)), k=4)
+
+    def test_known_neighbour(self):
+        train = np.array([[0.0, 0.0], [10.0, 10.0]])
+        gen = np.array([[9.0, 9.0]])
+        result = nearest_neighbors(gen, train, k=1)
+        assert result.indices[0, 0] == 1
+        assert result.distances[0, 0] == pytest.approx(1.0)  # MSE over 2 dims
+
+
+class TestMemorizationRatio:
+    def test_copying_model_scores_low(self):
+        rng = np.random.default_rng(2)
+        train = rng.normal(size=(50, 12))
+        holdout = rng.normal(size=(50, 12))
+        copied = train[:30] + rng.normal(0, 1e-4, size=(30, 12))
+        assert memorization_ratio(copied, train, holdout) < 0.01
+
+    def test_generalising_model_scores_near_one(self):
+        rng = np.random.default_rng(3)
+        train = rng.normal(size=(100, 12))
+        holdout = rng.normal(size=(100, 12))
+        fresh = rng.normal(size=(60, 12))
+        ratio = memorization_ratio(fresh, train, holdout)
+        assert 0.5 < ratio < 2.0

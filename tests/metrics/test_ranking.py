@@ -1,0 +1,75 @@
+"""Tests for Spearman rank correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import rankdata, spearman_rank_correlation
+
+
+class TestRankdata:
+    def test_simple(self):
+        assert np.array_equal(rankdata(np.array([30.0, 10.0, 20.0])),
+                              [3.0, 1.0, 2.0])
+
+    def test_ties_get_average_rank(self):
+        ranks = rankdata(np.array([1.0, 2.0, 2.0, 3.0]))
+        assert np.array_equal(ranks, [1.0, 2.5, 2.5, 4.0])
+
+    def test_matches_scipy(self):
+        from scipy.stats import rankdata as scipy_rank
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 5, 30).astype(float)
+        assert np.allclose(rankdata(x), scipy_rank(x))
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(a, a * 10 + 3) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_monotone_transform_invariant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=20)
+        assert spearman_rank_correlation(a, np.exp(a)) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=25)
+        b = rng.normal(size=25)
+        assert spearman_rank_correlation(a, b) == pytest.approx(
+            spearmanr(a, b).statistic, abs=1e-12)
+
+    def test_matches_scipy_with_ties(self):
+        from scipy.stats import spearmanr
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 4, 30).astype(float)
+        b = rng.integers(0, 4, 30).astype(float)
+        assert spearman_rank_correlation(a, b) == pytest.approx(
+            spearmanr(a, b).statistic, abs=1e-12)
+
+    def test_constant_input_returns_zero(self):
+        assert spearman_rank_correlation(np.ones(5),
+                                         np.arange(5.0)) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            spearman_rank_correlation(np.ones(1), np.ones(1))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=15,
+                    unique=True))
+    def test_bounds_property(self, values):
+        rng = np.random.default_rng(0)
+        a = np.array(values)
+        b = rng.permutation(a)
+        rho = spearman_rank_correlation(a, b)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9

@@ -1,0 +1,120 @@
+"""Second-order differentiation tests: the WGAN-GP-critical machinery."""
+
+import numpy as np
+
+from repro.nn import MLP, Tensor, grad, ops
+from repro.nn import functional as F
+
+
+RNG = np.random.default_rng(42)
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    g = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f()
+        flat[i] = orig - eps
+        down = f()
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return g
+
+
+class TestSecondOrderPrimitives:
+    def test_mul_second_order(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x * x * x * x
+        (g1,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(g1, [x])
+        assert np.isclose(g2.item(), 12 * 4.0)  # 12x^2 at x=2
+
+    def test_exp_second_order(self):
+        x = Tensor(0.5, requires_grad=True)
+        (g1,) = grad(ops.exp(x), [x], create_graph=True)
+        (g2,) = grad(g1, [x])
+        assert np.isclose(g2.item(), np.exp(0.5))
+
+    def test_log_second_order(self):
+        x = Tensor(2.0, requires_grad=True)
+        (g1,) = grad(ops.log(x), [x], create_graph=True)
+        (g2,) = grad(g1, [x])
+        assert np.isclose(g2.item(), -1.0 / 4.0)
+
+    def test_sigmoid_second_order(self):
+        v = 0.3
+        x = Tensor(v, requires_grad=True)
+        (g1,) = grad(ops.sigmoid(x), [x], create_graph=True)
+        (g2,) = grad(g1, [x])
+        s = 1 / (1 + np.exp(-v))
+        expected = s * (1 - s) * (1 - 2 * s)
+        assert np.isclose(g2.item(), expected)
+
+    def test_div_second_order(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = Tensor(1.0) / x
+        (g1,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(g1, [x])
+        assert np.isclose(g2.item(), 2.0 / 8.0)  # d2/dx2 1/x = 2/x^3
+
+    def test_matmul_second_order_mixed(self):
+        # f(W) = sum((x W)^2); grad wrt x then wrt W (mixed partial).
+        x = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        w = Tensor(RNG.normal(size=(3, 2)), requires_grad=True)
+        y = (ops.matmul(x, w) ** 2).sum()
+        (gx,) = grad(y, [x], create_graph=True)
+        (gw,) = grad(gx.sum(), [w])
+        # gx = 2 (x W) W^T; sum over entries, differentiate wrt W numerically.
+        def f():
+            return float((2 * (x.data @ w.data) @ w.data.T).sum())
+        expected = numeric_grad(f, w.data)
+        assert np.allclose(gw.data, expected, atol=1e-4)
+
+
+class TestGradientPenalty:
+    def test_penalty_through_mlp_matches_finite_difference(self):
+        mlp = MLP(4, [8, 8], 1, activation="tanh",
+                  rng=np.random.default_rng(0))
+        x = Tensor(RNG.normal(size=(6, 4)), requires_grad=True)
+
+        def penalty_value() -> float:
+            out = mlp(Tensor(x.data)).sum()
+            xt = Tensor(x.data, requires_grad=True)
+            o = mlp(xt).sum()
+            (gg,) = grad(o, [xt])
+            n = np.sqrt((gg.data ** 2).sum(axis=1) + 1e-12)
+            return float(((n - 1) ** 2).mean())
+
+        out = mlp(x).sum()
+        (g,) = grad(out, [x], create_graph=True)
+        norms = F.gradient_penalty_norm(g)
+        penalty = ((norms - Tensor(1.0)) ** 2).mean()
+        weights = [p for p in mlp.parameters() if p.ndim == 2]
+        analytic = grad(penalty, weights, allow_unused=True)
+        for w, ga in zip(weights, analytic):
+            expected = numeric_grad(penalty_value, w.data)
+            assert np.allclose(ga.data, expected, atol=1e-4)
+
+    def test_penalty_zero_for_unit_gradient_critic(self):
+        # A linear critic with unit-norm weight has ||grad|| == 1 everywhere.
+        from repro.nn import Linear
+        critic = Linear(3, 1, rng=np.random.default_rng(0))
+        w = np.zeros((3, 1))
+        w[0, 0] = 1.0
+        critic.weight.data = w
+        x = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+        (g,) = grad(critic(x).sum(), [x], create_graph=True)
+        norms = F.gradient_penalty_norm(g)
+        penalty = ((norms - Tensor(1.0)) ** 2).mean()
+        assert penalty.item() < 1e-10
+
+    def test_relu_second_order_is_zero(self):
+        x = Tensor(np.array([1.0, -1.0]), requires_grad=True)
+        y = (ops.relu(x) ** 2).sum()
+        (g1,) = grad(y, [x], create_graph=True)
+        # g1 = 2x on the positive side; second derivative of g1.sum() wrt x
+        (g2,) = grad(g1.sum(), [x], allow_unused=True)
+        assert np.allclose(g2.data, [2.0, 0.0])

@@ -1,0 +1,46 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+
+from repro.nn import init
+
+
+RNG = np.random.default_rng(4)
+
+
+class TestXavier:
+    def test_uniform_bounds(self):
+        w = init.xavier_uniform(RNG, 100, 50)
+        limit = np.sqrt(6.0 / 150)
+        assert w.shape == (100, 50)
+        assert np.abs(w).max() <= limit
+
+    def test_normal_scale(self):
+        w = init.xavier_normal(RNG, 400, 400)
+        assert abs(w.std() - np.sqrt(2.0 / 800)) < 0.005
+
+    def test_custom_shape(self):
+        w = init.xavier_uniform(RNG, 10, 20, shape=(5, 5))
+        assert w.shape == (5, 5)
+
+
+class TestOrthogonal:
+    def test_square_is_orthogonal(self):
+        q = init.orthogonal(RNG, 16, 16)
+        assert np.allclose(q @ q.T, np.eye(16), atol=1e-10)
+
+    def test_tall_has_orthonormal_columns(self):
+        q = init.orthogonal(RNG, 20, 8)
+        assert np.allclose(q.T @ q, np.eye(8), atol=1e-10)
+
+    def test_wide_has_orthonormal_rows(self):
+        q = init.orthogonal(RNG, 8, 20)
+        assert np.allclose(q @ q.T, np.eye(8), atol=1e-10)
+
+    def test_gain(self):
+        q = init.orthogonal(RNG, 8, 8, gain=2.0)
+        assert np.allclose(q @ q.T, 4 * np.eye(8), atol=1e-9)
+
+
+def test_zeros():
+    assert init.zeros((2, 3)).sum() == 0.0

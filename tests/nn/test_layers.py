@@ -1,0 +1,222 @@
+"""Tests for Module / Linear / MLP / LSTM layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, MLP, Linear, LSTMCell, Sequential, Tensor, grad
+
+
+RNG = np.random.default_rng(11)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 7, rng=RNG)
+        assert layer(Tensor(np.zeros((3, 4)))).shape == (3, 7)
+
+    def test_is_affine(self):
+        layer = Linear(3, 2, rng=RNG)
+        x = RNG.normal(size=(5, 3))
+        out = layer(Tensor(x))
+        assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_parameters(self):
+        layer = Linear(3, 2, rng=RNG)
+        params = layer.parameters()
+        assert len(params) == 2
+        shapes = {p.shape for p in params}
+        assert shapes == {(3, 2), (2,)}
+
+
+class TestMLP:
+    def test_hidden_stack(self):
+        mlp = MLP(4, [8, 16], 2, rng=RNG)
+        assert len(mlp.layers) == 3
+        assert mlp(Tensor(np.zeros((5, 4)))).shape == (5, 2)
+
+    def test_no_hidden_layers(self):
+        mlp = MLP(4, [], 2, rng=RNG)
+        assert len(mlp.layers) == 1
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            MLP(4, [8], 2, activation="selu", rng=RNG)
+
+    @pytest.mark.parametrize("activation",
+                             ["relu", "tanh", "sigmoid", "leaky_relu", "none"])
+    def test_all_activations_run(self, activation):
+        mlp = MLP(3, [5], 2, activation=activation, rng=RNG)
+        out = mlp(Tensor(RNG.normal(size=(4, 3))))
+        assert np.all(np.isfinite(out.data))
+
+    def test_gradients_flow_to_all_layers(self):
+        mlp = MLP(3, [5, 5], 1, rng=RNG)
+        out = mlp(Tensor(RNG.normal(size=(4, 3)))).sum()
+        grads = grad(out, mlp.parameters(), allow_unused=True)
+        assert all(g is not None for g in grads)
+
+
+class TestLSTMCell:
+    def test_state_shapes(self):
+        cell = LSTMCell(4, 8, rng=RNG)
+        h, c = cell.initial_state(5)
+        assert h.shape == (5, 8)
+        h2, c2 = cell(Tensor(np.zeros((5, 4))), (h, c))
+        assert h2.shape == (5, 8)
+        assert c2.shape == (5, 8)
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(4, 8, rng=RNG)
+        assert np.allclose(cell.bias.data[8:16], 1.0)
+        assert np.allclose(cell.bias.data[:8], 0.0)
+
+    def test_state_propagates_information(self):
+        cell = LSTMCell(1, 4, rng=np.random.default_rng(0))
+        state = cell.initial_state(1)
+        out_a, _ = cell(Tensor([[1.0]]), state)
+        # Process a distinctive first input, then a zero input; hidden state
+        # must differ from processing zeros from scratch.
+        h, c = cell(Tensor([[5.0]]), state)
+        out_b, _ = cell(Tensor([[1.0]]), (h, c))
+        assert not np.allclose(out_a.data, out_b.data)
+
+    def test_bounded_outputs(self):
+        cell = LSTMCell(2, 3, rng=RNG)
+        h, c = cell(Tensor(RNG.normal(size=(4, 2)) * 100),
+                    cell.initial_state(4))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+
+class TestLSTM:
+    def test_sequence_shape(self):
+        lstm = LSTM(3, 6, rng=RNG)
+        out = lstm(Tensor(RNG.normal(size=(2, 5, 3))))
+        assert out.shape == (2, 5, 6)
+
+    def test_gradients_through_time(self):
+        lstm = LSTM(2, 4, rng=RNG)
+        out = (lstm(Tensor(RNG.normal(size=(2, 6, 2)))) ** 2).sum()
+        grads = grad(out, lstm.parameters())
+        assert all(np.isfinite(g.data).all() for g in grads)
+        assert all(float(np.abs(g.data).sum()) > 0 for g in grads)
+
+
+class TestModuleStateDict:
+    def test_roundtrip(self):
+        a = MLP(3, [4], 2, rng=np.random.default_rng(1))
+        b = MLP(3, [4], 2, rng=np.random.default_rng(2))
+        b.load_state_dict(a.state_dict())
+        x = Tensor(RNG.normal(size=(5, 3)))
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_named_parameters_unique(self):
+        mlp = MLP(3, [4, 4], 2, rng=RNG)
+        names = [n for n, _ in mlp.named_parameters()]
+        assert len(names) == len(set(names)) == 6
+
+    def test_missing_key_raises(self):
+        mlp = MLP(3, [4], 2, rng=RNG)
+        state = mlp.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError, match="missing"):
+            mlp.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        mlp = MLP(3, [4], 2, rng=RNG)
+        state = mlp.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            mlp.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        mlp = MLP(3, [4], 2, rng=RNG)
+        state = mlp.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((99, 99))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mlp.load_state_dict(state)
+
+    def test_num_parameters(self):
+        mlp = MLP(3, [4], 2, rng=RNG)
+        assert mlp.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+
+class TestSequential:
+    def test_chains_modules(self):
+        seq = Sequential(Linear(3, 5, rng=RNG), Linear(5, 2, rng=RNG))
+        assert seq(Tensor(np.zeros((4, 3)))).shape == (4, 2)
+        assert len(seq.parameters()) == 4
+
+
+class TestGRUCell:
+    def test_state_shape(self):
+        from repro.nn import GRUCell
+        cell = GRUCell(4, 8, rng=RNG)
+        h = cell.initial_state(5)
+        h2 = cell(Tensor(np.zeros((5, 4))), h)
+        assert h2.shape == (5, 8)
+
+    def test_bounded_outputs(self):
+        from repro.nn import GRUCell
+        cell = GRUCell(2, 3, rng=RNG)
+        h = cell(Tensor(RNG.normal(size=(4, 2)) * 100),
+                 cell.initial_state(4))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_state_carries_information(self):
+        from repro.nn import GRUCell
+        cell = GRUCell(1, 4, rng=np.random.default_rng(3))
+        fresh = cell.initial_state(1)
+        out_a = cell(Tensor([[1.0]]), fresh)
+        primed = cell(Tensor([[5.0]]), fresh)
+        out_b = cell(Tensor([[1.0]]), primed)
+        assert not np.allclose(out_a.data, out_b.data)
+
+    def test_gradients_flow(self):
+        from repro.nn import GRUCell
+        cell = GRUCell(3, 5, rng=RNG)
+        # Two steps: the recurrent weights only receive gradient once the
+        # hidden state is non-zero.
+        h = cell(Tensor(RNG.normal(size=(2, 3))), cell.initial_state(2))
+        h = cell(Tensor(RNG.normal(size=(2, 3))), h)
+        grads = grad((h * h).sum(), cell.parameters())
+        assert all(np.abs(g.data).sum() > 0 for g in grads)
+
+    def test_fewer_parameters_than_lstm(self):
+        from repro.nn import GRUCell, LSTMCell
+        gru = GRUCell(4, 8, rng=RNG)
+        lstm = LSTMCell(4, 8, rng=RNG)
+        assert sum(p.size for p in gru.parameters()) < \
+            sum(p.size for p in lstm.parameters())
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        from repro.nn import LayerNorm
+        ln = LayerNorm(6)
+        x = Tensor(RNG.normal(3.0, 5.0, size=(4, 6)))
+        out = ln(x)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gain_and_bias_applied(self):
+        from repro.nn import LayerNorm
+        ln = LayerNorm(4)
+        ln.gain.data[:] = 2.0
+        ln.bias.data[:] = 1.0
+        out = ln(Tensor(RNG.normal(size=(3, 4))))
+        assert np.allclose(out.data.mean(axis=-1), 1.0, atol=1e-9)
+
+    def test_gradients_flow(self):
+        from repro.nn import LayerNorm
+        ln = LayerNorm(5)
+        x = Tensor(RNG.normal(size=(2, 5)), requires_grad=True)
+        out = (ln(x) ** 2).sum()
+        grads = grad(out, [x] + ln.parameters())
+        assert all(np.isfinite(g.data).all() for g in grads)
+
+    def test_works_on_3d(self):
+        from repro.nn import LayerNorm
+        ln = LayerNorm(4)
+        out = ln(Tensor(RNG.normal(size=(2, 3, 4))))
+        assert out.shape == (2, 3, 4)

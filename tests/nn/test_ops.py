@@ -1,0 +1,289 @@
+"""Finite-difference gradient checks for every primitive op."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, grad, ops
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued f at x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f(x)
+        flat[i] = orig - eps
+        down = f(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return g
+
+
+def check_unary(op, np_ref, x: np.ndarray, atol: float = 1e-6):
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t)
+    assert np.allclose(out.data, np_ref(x), atol=1e-10)
+    (g,) = grad(out.sum(), [t])
+    expected = numeric_grad(lambda a: np_ref(a).sum(), x.copy())
+    assert np.allclose(g.data, expected, atol=atol), op.__name__
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestUnaryOps:
+    def test_neg(self):
+        check_unary(ops.neg, lambda a: -a, RNG.normal(size=(3, 4)))
+
+    def test_exp(self):
+        check_unary(ops.exp, np.exp, RNG.normal(size=(3, 4)))
+
+    def test_log(self):
+        check_unary(ops.log, np.log, RNG.uniform(0.5, 2.0, size=(3, 4)))
+
+    def test_tanh(self):
+        check_unary(ops.tanh, np.tanh, RNG.normal(size=(3, 4)))
+
+    def test_sigmoid(self):
+        check_unary(ops.sigmoid, lambda a: 1 / (1 + np.exp(-a)),
+                    RNG.normal(size=(3, 4)))
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = ops.sigmoid(Tensor([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out.data))
+        assert np.allclose(out.data, [0.0, 1.0])
+
+    def test_relu(self):
+        x = RNG.normal(size=(5, 5))
+        x[np.abs(x) < 0.1] = 0.5  # avoid the kink for finite differences
+        check_unary(ops.relu, lambda a: np.maximum(a, 0), x)
+
+    def test_abs(self):
+        x = RNG.normal(size=(4, 4))
+        x[np.abs(x) < 0.1] = 0.5
+        check_unary(ops.abs_, np.abs, x)
+
+    def test_sqrt(self):
+        check_unary(ops.sqrt, np.sqrt, RNG.uniform(0.5, 2.0, size=(3,)))
+
+    def test_power(self):
+        x = RNG.uniform(0.5, 2.0, size=(3, 3))
+        t = Tensor(x.copy(), requires_grad=True)
+        out = ops.power(t, 3.0)
+        (g,) = grad(out.sum(), [t])
+        assert np.allclose(g.data, 3 * x ** 2, atol=1e-8)
+
+
+class TestBinaryOps:
+    @pytest.mark.parametrize("op,np_op", [
+        (ops.add, np.add), (ops.sub, np.subtract),
+        (ops.mul, np.multiply), (ops.div, np.divide),
+        (ops.maximum, np.maximum), (ops.minimum, np.minimum),
+    ])
+    def test_same_shape(self, op, np_op):
+        a = RNG.uniform(0.5, 2.0, size=(3, 4))
+        b = RNG.uniform(0.5, 2.0, size=(3, 4))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        out = op(ta, tb)
+        assert np.allclose(out.data, np_op(a, b))
+        ga, gb = grad(out.sum(), [ta, tb])
+        na = numeric_grad(lambda x: np_op(x, b).sum(), a.copy())
+        nb = numeric_grad(lambda x: np_op(a, x).sum(), b.copy())
+        assert np.allclose(ga.data, na, atol=1e-6)
+        assert np.allclose(gb.data, nb, atol=1e-6)
+
+    @pytest.mark.parametrize("shape_a,shape_b", [
+        ((3, 4), (4,)), ((3, 4), (1, 4)), ((3, 1), (1, 4)),
+        ((2, 3, 4), (3, 4)), ((5,), ()),
+    ])
+    def test_broadcasting_gradients(self, shape_a, shape_b):
+        a = RNG.normal(size=shape_a)
+        b = RNG.normal(size=shape_b)
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        out = ops.mul(ta, tb)
+        ga, gb = grad(out.sum(), [ta, tb])
+        assert ga.shape == np.shape(a)
+        assert gb.shape == np.shape(b)
+        na = numeric_grad(lambda x: (x * b).sum(), a.copy())
+        nb = numeric_grad(lambda x: (a * x).sum(), b.copy())
+        assert np.allclose(ga.data, na, atol=1e-6)
+        assert np.allclose(gb.data, nb, atol=1e-6)
+
+    def test_python_scalar_operands(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = 2.0 * x + 1.0 - x / 2.0
+        (g,) = grad(y.sum(), [x])
+        assert np.allclose(g.data, [1.5, 1.5])
+
+    def test_numpy_array_left_operand(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = np.array([3.0, 4.0]) * x
+        assert isinstance(y, Tensor)
+        (g,) = grad(y.sum(), [x])
+        assert np.allclose(g.data, [3.0, 4.0])
+
+
+class TestMatmul:
+    def test_2d(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4, 5))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        out = ops.matmul(ta, tb)
+        ga, gb = grad(out.sum(), [ta, tb])
+        assert np.allclose(ga.data,
+                           numeric_grad(lambda x: (x @ b).sum(), a.copy()),
+                           atol=1e-6)
+        assert np.allclose(gb.data,
+                           numeric_grad(lambda x: (a @ x).sum(), b.copy()),
+                           atol=1e-6)
+
+    def test_batched(self):
+        a = RNG.normal(size=(2, 3, 4))
+        b = RNG.normal(size=(4, 5))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        out = ops.matmul(ta, tb)
+        assert out.shape == (2, 3, 5)
+        ga, gb = grad(out.sum(), [ta, tb])
+        assert ga.shape == (2, 3, 4)
+        assert gb.shape == (4, 5)
+        assert np.allclose(gb.data,
+                           numeric_grad(lambda x: (a @ x).sum(), b.copy()),
+                           atol=1e-6)
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="ndim >= 2"):
+            ops.matmul(Tensor([1.0, 2.0]), Tensor([[1.0], [2.0]]))
+
+
+class TestReductions:
+    @pytest.mark.parametrize("axis,keepdims", [
+        (None, False), (0, False), (1, True), ((0, 1), False), (-1, False),
+    ])
+    def test_sum(self, axis, keepdims):
+        x = RNG.normal(size=(3, 4))
+        t = Tensor(x.copy(), requires_grad=True)
+        out = ops.sum_(t, axis=axis, keepdims=keepdims)
+        assert np.allclose(out.data, x.sum(axis=axis, keepdims=keepdims))
+        (g,) = grad((out * out).sum(), [t])
+        expected = numeric_grad(
+            lambda a: (a.sum(axis=axis, keepdims=keepdims) ** 2).sum(),
+            x.copy())
+        assert np.allclose(g.data, expected, atol=1e-5)
+
+    def test_mean(self):
+        x = RNG.normal(size=(4, 6))
+        t = Tensor(x.copy(), requires_grad=True)
+        (g,) = grad(ops.mean(t), [t])
+        assert np.allclose(g.data, np.full_like(x, 1.0 / 24))
+
+    def test_mean_axis(self):
+        x = RNG.normal(size=(4, 6))
+        t = Tensor(x.copy(), requires_grad=True)
+        out = ops.mean(t, axis=0)
+        assert out.shape == (6,)
+        (g,) = grad(out.sum(), [t])
+        assert np.allclose(g.data, np.full_like(x, 0.25))
+
+
+class TestShapeOps:
+    def test_reshape_grad(self):
+        x = RNG.normal(size=(2, 6))
+        t = Tensor(x.copy(), requires_grad=True)
+        out = ops.reshape(t, (3, 4))
+        (g,) = grad((out * out).sum(), [t])
+        assert g.shape == (2, 6)
+        assert np.allclose(g.data, 2 * x)
+
+    def test_reshape_minus_one(self):
+        t = Tensor(np.zeros((2, 6)))
+        assert ops.reshape(t, (4, -1)).shape == (4, 3)
+
+    def test_transpose_grad(self):
+        x = RNG.normal(size=(2, 3, 4))
+        t = Tensor(x.copy(), requires_grad=True)
+        out = ops.transpose(t, (2, 0, 1))
+        assert out.shape == (4, 2, 3)
+        (g,) = grad((out * out).sum(), [t])
+        assert np.allclose(g.data, 2 * x)
+
+    def test_swapaxes(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert ops.swapaxes(t, -1, -2).shape == (2, 4, 3)
+
+    def test_broadcast_to_grad(self):
+        x = RNG.normal(size=(1, 4))
+        t = Tensor(x.copy(), requires_grad=True)
+        out = ops.broadcast_to(t, (3, 4))
+        (g,) = grad(out.sum(), [t])
+        assert g.shape == (1, 4)
+        assert np.allclose(g.data, 3.0)
+
+    def test_concat_grads(self):
+        a = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=(2, 5))
+        ta = Tensor(a.copy(), requires_grad=True)
+        tb = Tensor(b.copy(), requires_grad=True)
+        out = ops.concat([ta, tb], axis=1)
+        assert out.shape == (2, 8)
+        scale = Tensor(np.arange(8.0))
+        ga, gb = grad((out * scale).sum(), [ta, tb])
+        assert np.allclose(ga.data, np.tile(np.arange(3.0), (2, 1)))
+        assert np.allclose(gb.data, np.tile(np.arange(3.0, 8.0), (2, 1)))
+
+    def test_stack(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)) * 2, requires_grad=True)
+        out = ops.stack([a, b], axis=1)
+        assert out.shape == (2, 2, 3)
+        ga, gb = grad(out.sum(), [a, b])
+        assert np.allclose(ga.data, 1.0)
+        assert np.allclose(gb.data, 1.0)
+
+
+class TestIndexing:
+    def test_slice_grad(self):
+        x = RNG.normal(size=(4, 6))
+        t = Tensor(x.copy(), requires_grad=True)
+        out = t[1:3, ::2]
+        (g,) = grad(out.sum(), [t])
+        expected = np.zeros_like(x)
+        expected[1:3, ::2] = 1.0
+        assert np.allclose(g.data, expected)
+
+    def test_fancy_index_with_duplicates_accumulates(self):
+        t = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        out = t[idx]
+        (g,) = grad(out.sum(), [t])
+        assert np.allclose(g.data, [2.0, 0.0, 1.0])
+
+    def test_int_index(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        out = t[1]
+        assert out.shape == (4,)
+        (g,) = grad(out.sum(), [t])
+        assert g.data[1].sum() == 4.0
+        assert g.data[[0, 2]].sum() == 0.0
+
+    def test_ellipsis_style_time_slice(self):
+        t = Tensor(np.ones((2, 5, 3)), requires_grad=True)
+        out = t[:, 2, :]
+        (g,) = grad(out.sum(), [t])
+        assert g.data.sum() == 6.0
+
+
+class TestClip:
+    def test_clip_values_and_grad(self):
+        x = np.array([-2.0, 0.5, 3.0])
+        t = Tensor(x.copy(), requires_grad=True)
+        out = ops.clip(t, 0.0, 1.0)
+        assert np.allclose(out.data, [0.0, 0.5, 1.0])
+        (g,) = grad(out.sum(), [t])
+        assert np.allclose(g.data, [0.0, 1.0, 0.0])

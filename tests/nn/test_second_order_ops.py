@@ -1,0 +1,100 @@
+"""Systematic second-order (grad-of-grad) checks for smooth primitives.
+
+For each op f we build s(x) = sum(g(x) * w) where g = d(sum f(x))/dx is
+obtained with create_graph=True, then compare d s/d x against central
+finite differences of the analytically-known first derivative.  This is
+the machinery the WGAN-GP penalty exercises; any silent VJP bug would
+surface here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, grad, ops
+from repro.nn import functional as F
+
+
+RNG = np.random.default_rng(77)
+
+
+def second_order_check(op, x: np.ndarray, eps: float = 1e-5,
+                       atol: float = 1e-5):
+    """Compare analytic d/dx [w . d(sum op(x))/dx] to finite differences."""
+    w = RNG.normal(size=x.shape)
+
+    def first_grad(values: np.ndarray) -> np.ndarray:
+        t = Tensor(values.copy(), requires_grad=True)
+        (g,) = grad(op(t).sum(), [t])
+        return g.data
+
+    t = Tensor(x.copy(), requires_grad=True)
+    (g,) = grad(op(t).sum(), [t], create_graph=True)
+    (hvp,) = grad((g * Tensor(w)).sum(), [t], allow_unused=True)
+    if hvp is None:
+        analytic = np.zeros_like(x)
+    else:
+        analytic = hvp.data
+
+    numeric = np.zeros_like(x)
+    flat = x.reshape(-1)
+    out = numeric.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = (first_grad(x) * w).sum()
+        flat[i] = orig - eps
+        down = (first_grad(x) * w).sum()
+        flat[i] = orig
+        out[i] = (up - down) / (2 * eps)
+    assert np.allclose(analytic, numeric, atol=atol), op
+
+
+UNARY_CASES = [
+    ("exp", ops.exp, RNG.normal(size=(3, 2)) * 0.5),
+    ("log", ops.log, RNG.uniform(0.5, 2.0, size=(3, 2))),
+    ("tanh", ops.tanh, RNG.normal(size=(3, 2))),
+    ("sigmoid", ops.sigmoid, RNG.normal(size=(3, 2))),
+    ("sqrt", ops.sqrt, RNG.uniform(0.5, 2.0, size=(3, 2))),
+    ("cube", lambda t: ops.power(t, 3.0), RNG.normal(size=(3, 2))),
+    ("reciprocal", lambda t: Tensor(1.0) / t,
+     RNG.uniform(0.5, 2.0, size=(3, 2))),
+    ("square_of_sum", lambda t: ops.sum_(t, axis=1) ** 2,
+     RNG.normal(size=(3, 2))),
+    ("softmax_entropy",
+     lambda t: -(F.softmax(t) * F.log_softmax(t)).sum(axis=-1),
+     RNG.normal(size=(2, 4))),
+    ("l2_norm", lambda t: F.l2_norm(t, axis=1),
+     RNG.uniform(0.5, 1.5, size=(3, 4))),
+]
+
+
+@pytest.mark.parametrize("name,op,x", UNARY_CASES,
+                         ids=[c[0] for c in UNARY_CASES])
+def test_second_order_unary(name, op, x):
+    second_order_check(op, x.copy())
+
+
+def test_second_order_through_matmul_chain():
+    w1 = RNG.normal(size=(3, 4))
+    w2 = RNG.normal(size=(4, 1))
+
+    def op(t):
+        return ops.tanh(ops.matmul(ops.tanh(ops.matmul(t, Tensor(w1))),
+                                   Tensor(w2)))
+
+    second_order_check(op, RNG.normal(size=(5, 3)))
+
+
+def test_second_order_through_concat_and_slice():
+    def op(t):
+        joined = ops.concat([t, t * 2.0], axis=1)
+        return (joined[:, 1:] ** 2).sum(axis=1)
+
+    second_order_check(op, RNG.normal(size=(3, 2)))
+
+
+def test_linear_function_has_zero_second_order():
+    x = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+    (g,) = grad((x * 3.0).sum(), [x], create_graph=True)
+    (h,) = grad(g.sum(), [x], allow_unused=True)
+    assert h is None  # constant first derivative -> no path back to x

@@ -1,0 +1,25 @@
+"""Tests for module save/load."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Tensor, load_module, save_module
+
+
+def test_save_load_roundtrip(tmp_path):
+    a = MLP(3, [5], 2, rng=np.random.default_rng(1))
+    b = MLP(3, [5], 2, rng=np.random.default_rng(2))
+    path = tmp_path / "weights.npz"
+    save_module(a, path)
+    load_module(b, path)
+    x = Tensor(np.random.default_rng(3).normal(size=(4, 3)))
+    assert np.allclose(a(x).data, b(x).data)
+
+
+def test_load_into_wrong_architecture_raises(tmp_path):
+    a = MLP(3, [5], 2, rng=np.random.default_rng(1))
+    b = MLP(3, [5, 5], 2, rng=np.random.default_rng(2))
+    path = tmp_path / "weights.npz"
+    save_module(a, path)
+    with pytest.raises(KeyError):
+        load_module(b, path)

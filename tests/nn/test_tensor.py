@@ -1,0 +1,204 @@
+"""Tests for the autodiff engine core (Tensor, grad, no_grad)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, Tensor, grad, no_grad
+from repro.nn import ops
+from repro.nn.tensor import is_grad_enabled
+
+
+class TestTensorBasics:
+    def test_wraps_data_as_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_wrapping_tensor_shares_values(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert np.array_equal(b.data, a.data)
+
+    def test_scalar_item(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_numpy_returns_copy(self):
+        t = Tensor([1.0, 2.0])
+        arr = t.numpy()
+        arr[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_parameter_requires_grad(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad
+        assert p.is_leaf
+
+    def test_detach_cuts_graph(self):
+        p = Parameter([1.0, 2.0])
+        y = p * 2.0
+        d = y.detach()
+        assert d.is_leaf
+        assert not d.requires_grad
+        assert np.array_equal(d.data, y.data)
+
+    def test_len_and_ndim(self):
+        t = Tensor(np.zeros((4, 2)))
+        assert len(t) == 4
+        assert t.ndim == 2
+        assert t.size == 8
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad=True" in repr(Parameter([1.0]))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+
+class TestGrad:
+    def test_simple_chain(self):
+        x = Parameter(2.0)
+        y = x * x * x  # d/dx x^3 = 3x^2 = 12
+        (g,) = grad(y, [x])
+        assert np.isclose(g.item(), 12.0)
+
+    def test_shared_subexpression_accumulates(self):
+        x = Parameter(3.0)
+        y = x * x + x * x  # 4x = 12
+        (g,) = grad(y, [x])
+        assert np.isclose(g.item(), 12.0)
+
+    def test_grad_of_interior_node(self):
+        x = Parameter(2.0)
+        h = x * 3.0
+        y = h * h
+        (gh,) = grad(y, [h])
+        assert np.isclose(gh.item(), 2 * 6.0)
+
+    def test_grad_output_shape_mismatch_raises(self):
+        x = Parameter(np.ones(3))
+        y = x * 2.0
+        with pytest.raises(ValueError, match="grad_output shape"):
+            grad(y, [x], grad_output=np.ones(2))
+
+    def test_custom_grad_output(self):
+        x = Parameter(np.ones(3))
+        y = x * 2.0
+        (g,) = grad(y, [x], grad_output=np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(g.data, [2.0, 4.0, 6.0])
+
+    def test_unreached_input_raises(self):
+        x = Parameter(1.0)
+        z = Parameter(1.0)
+        y = x * 2.0
+        with pytest.raises(RuntimeError, match="not reached"):
+            grad(y, [z])
+
+    def test_allow_unused_returns_none(self):
+        x = Parameter(1.0)
+        z = Parameter(1.0)
+        y = x * 2.0
+        gx, gz = grad(y, [x, z], allow_unused=True)
+        assert gz is None
+        assert np.isclose(gx.item(), 2.0)
+
+    def test_no_grad_through_constant(self):
+        x = Tensor(2.0)  # requires_grad False
+        p = Parameter(3.0)
+        y = x * p
+        (gp,) = grad(y, [p])
+        assert np.isclose(gp.item(), 2.0)
+
+    def test_diamond_graph(self):
+        x = Parameter(2.0)
+        a = x * 2.0
+        b = x * 3.0
+        y = a * b  # y = 6x^2, dy/dx = 12x = 24
+        (g,) = grad(y, [x])
+        assert np.isclose(g.item(), 24.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Parameter(1.0)
+        y = x
+        for _ in range(2000):
+            y = y + 1.0
+        (g,) = grad(y, [x])
+        assert np.isclose(g.item(), 1.0)
+
+
+class TestBackward:
+    def test_backward_populates_grad(self):
+        x = Parameter(np.array([1.0, 2.0]))
+        y = (x * x).sum()
+        y.backward()
+        assert np.allclose(x.grad.data, [2.0, 4.0])
+
+    def test_backward_accumulates_across_calls(self):
+        x = Parameter(np.array([1.0]))
+        (x * 2.0).sum().backward()
+        (x * 3.0).sum().backward()
+        assert np.isclose(x.grad.data[0], 5.0)
+
+    def test_zero_grad(self):
+        x = Parameter(np.array([1.0]))
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        p = Parameter(1.0)
+        with no_grad():
+            y = p * 2.0
+        assert y.is_leaf
+        assert not y.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+
+
+class TestCreateGraph:
+    def test_second_derivative_of_cube(self):
+        x = Parameter(2.0)
+        y = x * x * x
+        (g1,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(g1, [x])  # d2/dx2 x^3 = 6x = 12
+        assert np.isclose(g2.item(), 12.0)
+
+    def test_third_derivative(self):
+        x = Parameter(1.5)
+        y = x * x * x * x  # 4x^3, 12x^2, 24x
+        (g1,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(g1, [x], create_graph=True)
+        (g3,) = grad(g2, [x])
+        assert np.isclose(g3.item(), 24 * 1.5)
+
+    def test_without_create_graph_grads_are_leaves(self):
+        x = Parameter(2.0)
+        y = x * x
+        (g,) = grad(y, [x])
+        assert g.is_leaf
+
+    def test_grad_of_tanh_grad(self):
+        x = Parameter(0.7)
+        y = ops.tanh(x)
+        (g1,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(g1, [x])
+        t = np.tanh(0.7)
+        # d/dx (1 - tanh^2) = -2 tanh (1 - tanh^2)
+        assert np.isclose(g2.item(), -2 * t * (1 - t ** 2), atol=1e-10)

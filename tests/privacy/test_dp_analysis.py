@@ -1,0 +1,33 @@
+"""Tests for DP plan accounting helpers."""
+
+import pytest
+
+from repro.privacy import DPPlan, epsilon_for_noise, noise_for_epsilon
+
+
+class TestDPPlan:
+    def test_sampling_probability(self):
+        plan = DPPlan(dataset_size=1000, batch_size=50, iterations=100)
+        assert plan.sampling_probability == 0.05
+
+    def test_batch_larger_than_dataset_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            DPPlan(dataset_size=10, batch_size=20, iterations=5)
+
+
+class TestAccounting:
+    PLAN = DPPlan(dataset_size=1000, batch_size=32, iterations=500,
+                  delta=1e-5)
+
+    def test_epsilon_monotone_in_noise(self):
+        eps = [epsilon_for_noise(self.PLAN, s) for s in (0.6, 1.0, 2.0)]
+        assert eps == sorted(eps, reverse=True)
+
+    def test_roundtrip_noise_epsilon(self):
+        target = 3.0
+        sigma = noise_for_epsilon(self.PLAN, target)
+        assert epsilon_for_noise(self.PLAN, sigma) <= target
+
+    def test_strong_privacy_needs_more_noise(self):
+        assert noise_for_epsilon(self.PLAN, 0.5) > \
+            noise_for_epsilon(self.PLAN, 5.0)

@@ -1,0 +1,107 @@
+"""Tests for the membership inference attack."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import (attack_success_vs_training_size,
+                           membership_inference_attack)
+
+
+class TestAttack:
+    def test_memorizing_model_fully_exposed(self):
+        """If the released samples ARE the training data, the attack wins."""
+        rng = np.random.default_rng(0)
+        members = rng.normal(size=(40, 10))
+        non_members = rng.normal(size=(40, 10))
+        result = membership_inference_attack(members, non_members,
+                                             generated=members.copy())
+        assert result.success_rate > 0.95
+
+    def test_independent_model_near_chance(self):
+        """Generated data unrelated to membership -> ~50% success."""
+        rng = np.random.default_rng(1)
+        members = rng.normal(size=(200, 10))
+        non_members = rng.normal(size=(200, 10))
+        generated = rng.normal(size=(300, 10))
+        result = membership_inference_attack(members, non_members, generated)
+        assert abs(result.success_rate - 0.5) < 0.12
+
+    def test_unbalanced_candidates_rejected(self):
+        with pytest.raises(ValueError, match="balanced"):
+            membership_inference_attack(np.zeros((3, 2)), np.zeros((4, 2)),
+                                        np.zeros((5, 2)))
+
+    def test_scores_exposed(self):
+        rng = np.random.default_rng(2)
+        members = rng.normal(size=(10, 4))
+        result = membership_inference_attack(members,
+                                             rng.normal(size=(10, 4)),
+                                             members)
+        assert result.member_scores.shape == (10,)
+        # Members sit exactly on generated points: best possible score 0.
+        assert np.allclose(result.member_scores, 0.0)
+
+
+class TestSizeSweep:
+    def test_smaller_training_sets_are_more_exposed(self):
+        """The Figure-12 effect with a stylised 'model' that memorises a
+        fixed budget of samples: fewer training samples -> each is more
+        likely to be reproduced -> higher attack success."""
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(400, 8))
+
+        def train_and_release(members, inner_rng):
+            # Release 100 samples: copies of training rows plus noise that
+            # grows with the training-set size (a crude generalisation
+            # proxy: big datasets are harder to memorise).
+            idx = inner_rng.integers(0, len(members), size=100)
+            noise_scale = 0.02 * len(members)
+            return members[idx] + inner_rng.normal(
+                0, noise_scale, size=(100, members.shape[1]))
+
+        results = attack_success_vs_training_size(
+            train_and_release, data, sizes=[10, 100], rng=rng,
+            candidates_per_side=10)
+        sizes = [s for s, _ in results]
+        rates = {s: r for s, r in results}
+        assert sizes == [10, 100]
+        assert rates[10] > rates[100]
+
+    def test_oversized_training_request_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="too large"):
+            attack_success_vs_training_size(
+                lambda m, r: m, np.zeros((10, 2)), sizes=[8], rng=rng)
+
+
+class TestWhiteBoxAttack:
+    def test_balanced_requirement(self, trained_dg_gcut, tiny_gcut):
+        from repro.privacy import discriminator_score_attack
+        with pytest.raises(ValueError, match="balanced"):
+            discriminator_score_attack(trained_dg_gcut, tiny_gcut[0:4],
+                                       tiny_gcut[0:6])
+
+    def test_runs_on_trained_model(self, trained_dg_gcut, tiny_gcut):
+        from repro.privacy import discriminator_score_attack
+        half = len(tiny_gcut) // 2
+        members = tiny_gcut[np.arange(half)]
+        non_members = tiny_gcut[np.arange(half, 2 * half)]
+        result = discriminator_score_attack(trained_dg_gcut, members,
+                                            non_members)
+        assert 0.0 <= result.success_rate <= 1.0
+        assert len(result.member_scores) == half
+
+    def test_overfit_model_is_exposed(self, tiny_gcut):
+        """Heavy training on a tiny subset: the critic should score its
+        own training points higher than fresh data more often than not."""
+        from repro.core import DoppelGANger
+        from repro.privacy import discriminator_score_attack
+        from tests.conftest import tiny_dg_config
+        members = tiny_gcut[np.arange(12)]
+        non_members = tiny_gcut[np.arange(12, 24)]
+        model = DoppelGANger(tiny_gcut.schema,
+                             tiny_dg_config(iterations=250, batch_size=12,
+                                            seed=4))
+        model.fit(members)
+        result = discriminator_score_attack(model, members, non_members)
+        assert result.success_rate >= 0.5

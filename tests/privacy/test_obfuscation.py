@@ -1,0 +1,46 @@
+"""Tests for attribute obfuscation (§5.3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import obfuscate_attribute, sample_attribute_rows
+
+
+class TestSampleAttributeRows:
+    def test_override_changes_marginal(self, trained_dg_gcut):
+        rng = np.random.default_rng(0)
+        rows = sample_attribute_rows(
+            trained_dg_gcut, 300, rng,
+            overrides={"end_event_type": np.array([1.0, 0, 0, 0])})
+        assert np.all(rows[:, 0] == 0.0)  # every row forced to EVICT
+
+    def test_wrong_support_size_raises(self, trained_dg_gcut):
+        with pytest.raises(ValueError, match="support"):
+            sample_attribute_rows(
+                trained_dg_gcut, 10, np.random.default_rng(0),
+                overrides={"end_event_type": np.ones(7)})
+
+    def test_no_overrides_matches_model_distribution(self, trained_dg_gcut):
+        rng = np.random.default_rng(1)
+        rows = sample_attribute_rows(trained_dg_gcut, 50, rng)
+        assert rows.shape == (50, 1)
+
+
+class TestObfuscateAttribute:
+    def test_masks_distribution(self, tiny_gcut):
+        """After obfuscation to uniform, the generated event marginal is
+        much flatter than the (skewed) training marginal."""
+        from repro.core import DoppelGANger
+        from tests.conftest import tiny_dg_config
+        model = DoppelGANger(tiny_gcut.schema,
+                             tiny_dg_config(iterations=30, seed=5))
+        model.fit(tiny_gcut)
+        uniform = np.full(4, 0.25)
+        obfuscate_attribute(model, "end_event_type", uniform,
+                            rng=np.random.default_rng(0), iterations=150)
+        syn = model.generate(400, rng=np.random.default_rng(1))
+        freq = np.bincount(
+            syn.attribute_column("end_event_type").astype(int),
+            minlength=4) / 400
+        assert freq.max() < 0.55  # flattened towards uniform
+        assert freq.min() > 0.05

@@ -1,0 +1,72 @@
+"""Tests for the capacity-provisioning workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.provisioning import (CapacityPlan, capacity_plan,
+                                          provisioning_error)
+
+
+class TestCapacityPlan:
+    def test_per_group_percentiles(self, tiny_mba):
+        plan = capacity_plan(tiny_mba, "traffic_bytes", "technology",
+                             percentile=95)
+        assert len(plan.capacities) == 5
+        assert all(c >= 0 for c in plan.capacities)
+
+    def test_cable_provisioned_above_dsl(self):
+        from repro.data.simulators import generate_mba
+        data = generate_mba(800, np.random.default_rng(0))
+        plan = capacity_plan(data, "traffic_bytes", "technology")
+        assert plan.capacity_for(3) > plan.capacity_for(0)  # cable > DSL
+
+    def test_percentile_ordering(self, tiny_mba):
+        p50 = capacity_plan(tiny_mba, "traffic_bytes", "technology", 50)
+        p95 = capacity_plan(tiny_mba, "traffic_bytes", "technology", 95)
+        for low, high in zip(p50.capacities, p95.capacities):
+            assert high >= low
+
+    def test_non_categorical_group_rejected(self, tiny_mba):
+        with pytest.raises(KeyError):
+            capacity_plan(tiny_mba, "traffic_bytes", "nonexistent")
+
+    def test_bad_percentile_rejected(self, tiny_mba):
+        with pytest.raises(ValueError, match="percentile"):
+            capacity_plan(tiny_mba, "traffic_bytes", "technology", 0.0)
+
+    def test_excludes_padding(self, tiny_gcut):
+        """Padded zeros must not drag percentiles down."""
+        plan_all = capacity_plan(tiny_gcut, "cpu_rate", "end_event_type",
+                                 percentile=5)
+        # 5th percentile of valid data should exceed 0 (padding is zero).
+        assert any(c > 0 for c in plan_all.capacities)
+
+
+class TestProvisioningError:
+    def test_identical_plans_zero_error(self, tiny_mba):
+        plan = capacity_plan(tiny_mba, "traffic_bytes", "technology")
+        assert provisioning_error(plan, plan) == 0.0
+
+    def test_relative_error(self):
+        real = CapacityPlan("technology", "traffic_bytes", 95.0,
+                            (10.0, 20.0))
+        syn = CapacityPlan("technology", "traffic_bytes", 95.0,
+                           (15.0, 20.0))
+        assert provisioning_error(real, syn) == pytest.approx(0.25)
+
+    def test_mismatched_plans_rejected(self):
+        a = CapacityPlan("technology", "traffic_bytes", 95.0, (1.0,))
+        b = CapacityPlan("isp", "traffic_bytes", 95.0, (1.0,))
+        with pytest.raises(ValueError, match="different"):
+            provisioning_error(a, b)
+
+    def test_empty_real_categories_skipped(self):
+        real = CapacityPlan("t", "f", 95.0, (0.0, 10.0))
+        syn = CapacityPlan("t", "f", 95.0, (99.0, 11.0))
+        assert provisioning_error(real, syn) == pytest.approx(0.1)
+
+    def test_all_empty_raises(self):
+        real = CapacityPlan("t", "f", 95.0, (0.0,))
+        syn = CapacityPlan("t", "f", 95.0, (0.0,))
+        with pytest.raises(ValueError, match="no populated"):
+            provisioning_error(real, syn)

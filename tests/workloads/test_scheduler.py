@@ -1,0 +1,130 @@
+"""Tests for the cluster-scheduling substrate (§2.1 algorithm design)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (BestFitScheduler, ClusterSimulator,
+                             FCFSScheduler, SJFScheduler, Task,
+                             default_schedulers, evaluate_schedulers,
+                             scheduler_ranking, tasks_from_dataset)
+
+
+def make_tasks(specs):
+    """specs: list of (arrival, duration, cpu, memory)."""
+    return [Task(task_id=i, arrival=a, duration=d, cpu=c, memory=m)
+            for i, (a, d, c, m) in enumerate(specs)]
+
+
+class TestTask:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="duration"):
+            Task(0, 0.0, 0, 0.1, 0.1)
+        with pytest.raises(ValueError, match="demands"):
+            Task(0, 0.0, 1, -0.1, 0.1)
+
+
+class TestTasksFromDataset:
+    def test_derives_jobs(self, tiny_gcut, rng):
+        tasks = tasks_from_dataset(tiny_gcut, rng)
+        assert len(tasks) == len(tiny_gcut)
+        assert all(t.duration == tiny_gcut.lengths[t.task_id]
+                   for t in tasks)
+        assert all(0 < t.cpu <= 1 and 0 < t.memory <= 1 for t in tasks)
+
+    def test_arrivals_sorted(self, tiny_gcut, rng):
+        tasks = tasks_from_dataset(tiny_gcut, rng)
+        arrivals = [t.arrival for t in tasks]
+        assert arrivals == sorted(arrivals)
+
+
+class TestClusterSimulator:
+    def test_single_task(self):
+        sim = ClusterSimulator(cpu_capacity=1.0, memory_capacity=1.0)
+        result = sim.run(make_tasks([(0.0, 5, 0.5, 0.5)]), FCFSScheduler())
+        assert result.tasks_completed == 1
+        assert result.mean_completion_time == pytest.approx(5.0)
+        assert result.mean_wait_time == pytest.approx(0.0)
+
+    def test_capacity_forces_queueing(self):
+        """Two tasks that cannot run together must serialise."""
+        sim = ClusterSimulator(cpu_capacity=1.0, memory_capacity=1.0)
+        tasks = make_tasks([(0.0, 4, 0.8, 0.1), (0.0, 4, 0.8, 0.1)])
+        result = sim.run(tasks, FCFSScheduler())
+        assert result.makespan == pytest.approx(8.0)
+        assert result.mean_wait_time == pytest.approx(2.0)  # (0 + 4) / 2
+
+    def test_parallel_when_capacity_allows(self):
+        sim = ClusterSimulator(cpu_capacity=2.0, memory_capacity=2.0)
+        tasks = make_tasks([(0.0, 4, 0.8, 0.1), (0.0, 4, 0.8, 0.1)])
+        result = sim.run(tasks, FCFSScheduler())
+        assert result.makespan == pytest.approx(4.0)
+
+    def test_all_tasks_complete(self, tiny_gcut, rng):
+        tasks = tasks_from_dataset(tiny_gcut, rng)
+        sim = ClusterSimulator(cpu_capacity=2.0, memory_capacity=2.0)
+        for policy in default_schedulers():
+            result = sim.run(tasks, policy)
+            assert result.tasks_completed == len(tasks)
+
+    def test_empty_task_list_rejected(self):
+        with pytest.raises(ValueError, match="no tasks"):
+            ClusterSimulator().run([], FCFSScheduler())
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacities"):
+            ClusterSimulator(cpu_capacity=0.0)
+
+
+class TestPolicies:
+    def test_sjf_beats_fcfs_on_adversarial_order(self):
+        """A long job arriving first penalises FCFS; SJF reorders."""
+        # All arrive together; the long job is first in FCFS order.
+        tasks = make_tasks([
+            (0.0, 20, 0.9, 0.9),
+            (0.0, 1, 0.9, 0.9),
+            (0.0, 1, 0.9, 0.9),
+            (0.0, 1, 0.9, 0.9),
+        ])
+        sim = ClusterSimulator(cpu_capacity=1.0, memory_capacity=1.0)
+        fcfs = sim.run(tasks, FCFSScheduler())
+        sjf = sim.run(tasks, SJFScheduler())
+        assert sjf.mean_completion_time < fcfs.mean_completion_time
+
+    def test_bestfit_packs_complementary_tasks(self):
+        """Best-fit picks the task that fills the remaining slot."""
+        queue = make_tasks([
+            (0.0, 5, 0.5, 0.5),   # leaves slack 0.4
+            (0.0, 5, 0.7, 0.2),   # leaves slack 0.0  <- best fit
+        ])
+        chosen = BestFitScheduler().select(queue, free_cpu=0.7,
+                                           free_memory=0.2)
+        assert chosen.task_id == 1
+
+    def test_fcfs_head_of_line_blocking(self):
+        """FCFS waits for the head even when a later task would fit."""
+        queue = make_tasks([
+            (0.0, 5, 0.9, 0.9),   # head does not fit
+            (0.1, 5, 0.1, 0.1),   # would fit
+        ])
+        assert FCFSScheduler().select(queue, 0.5, 0.5) is None
+        assert SJFScheduler().select(queue, 0.5, 0.5).task_id == 1
+
+
+class TestEvaluation:
+    def test_evaluate_schedulers(self, tiny_gcut, rng):
+        results = evaluate_schedulers(tiny_gcut, rng)
+        assert [r.policy for r in results] == ["FCFS", "SJF", "BestFit"]
+        assert all(np.isfinite(r.mean_completion_time) for r in results)
+
+    def test_ranking_on_identical_data_is_perfect(self, tiny_gcut, rng):
+        rho, real_results, syn_results = scheduler_ranking(
+            tiny_gcut, tiny_gcut, rng)
+        assert rho == pytest.approx(1.0)
+        for a, b in zip(real_results, syn_results):
+            assert a.mean_completion_time == b.mean_completion_time
+
+    def test_ranking_bounded(self, tiny_gcut, rng):
+        shuffled = tiny_gcut.subsample(len(tiny_gcut) // 2,
+                                       np.random.default_rng(5))
+        rho, _, _ = scheduler_ranking(tiny_gcut, shuffled, rng)
+        assert -1.0 <= rho <= 1.0
