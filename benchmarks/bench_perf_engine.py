@@ -1,0 +1,151 @@
+"""Engine benchmark: fused kernels vs the op-by-op reference path.
+
+Times DoppelGANger training steps/sec on a fixed WWT config with the fused
+execution layer (repro.nn.kernels) on and off, counts graph ops per
+training step with the op profiler, and writes the results to
+``BENCH_engine.json`` at the repo root.
+
+Run standalone (writes the JSON, prints a table, no assertions)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py --steps 20
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py --steps 2 --smoke
+
+or as part of the benchmark suite::
+
+    pytest benchmarks/bench_perf_engine.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.doppelganger import DoppelGANger
+from repro.core.trainer import TrainingHistory
+from repro.experiments.configs import BENCH, make_dataset, make_dg_config
+from repro.nn import kernels, profiler
+
+DEFAULT_STEPS = 10
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+# The fixed WWT training config being measured.  Length 224 (32 LSTM
+# passes at sample_len 7) sits between the bench scale (56) and the
+# paper's real WWT series (550) -- long enough that the recurrent scan,
+# not fixed per-step overhead, dominates the step time.
+CONFIG_SUMMARY = {
+    "dataset": "wwt",
+    "n_samples": 96,
+    "series_length": 224,
+    "sample_len": 7,
+    "batch_size": 32,
+    "rnn_units": 48,
+}
+_SCALE = dataclasses.replace(BENCH,
+                             wwt_length=CONFIG_SUMMARY["series_length"])
+
+
+def _train_steps_per_sec(fused: bool, steps: int, repeats: int) -> dict:
+    """Train a fresh seeded model; time ``repeats`` blocks of ``steps``.
+
+    Reports the fastest block (min wall-clock), the standard way to strip
+    transient machine load out of a throughput measurement.
+    """
+    data = make_dataset("wwt", _SCALE, n=CONFIG_SUMMARY["n_samples"])
+    config = make_dg_config("wwt", _SCALE, iterations=steps)
+    with kernels.fused_kernels(fused):
+        model = DoppelGANger(data.schema, config)
+        # Build + encode outside the timed region (fit() does both).
+        model.encoder.fit(data)
+        model._build()
+        encoded = model.encoder.transform(data)
+        model.trainer._train_loop(encoded, 1, 10 ** 9, None,
+                                  TrainingHistory())  # warmup
+        with profiler.profile() as prof:
+            model.trainer.discriminator_step(encoded)
+            model.trainer.generator_step()
+        ops_per_step = prof.total_calls()
+        best = float("inf")
+        for _ in range(repeats):
+            history = TrainingHistory()
+            started = time.perf_counter()
+            model.trainer._train_loop(encoded, steps,
+                                      max(steps - 1, 1), None, history)
+            best = min(best, time.perf_counter() - started)
+    return {
+        "steps": steps,
+        "repeats": repeats,
+        "best_seconds": best,
+        "steps_per_sec": steps / best,
+        "ops_per_step": ops_per_step,
+        "final_d_loss": history.d_loss[-1],
+        "final_g_loss": history.g_loss[-1],
+    }
+
+
+def run_engine_benchmark(steps: int = DEFAULT_STEPS, repeats: int = 3,
+                         output: Path | str = DEFAULT_OUTPUT) -> dict:
+    """Measure fused vs reference and write BENCH_engine.json."""
+    if steps < 1 or repeats < 1:
+        raise ValueError("steps and repeats must both be >= 1")
+    fused = _train_steps_per_sec(fused=True, steps=steps, repeats=repeats)
+    reference = _train_steps_per_sec(fused=False, steps=steps,
+                                     repeats=repeats)
+    result = {
+        "config": CONFIG_SUMMARY,
+        "fused": fused,
+        "reference": reference,
+        "speedup": fused["steps_per_sec"] / reference["steps_per_sec"],
+        "op_reduction": reference["ops_per_step"] / fused["ops_per_step"],
+    }
+    output = Path(output)
+    output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"[bench_perf_engine] fused:     "
+          f"{fused['steps_per_sec']:.2f} steps/s "
+          f"({fused['ops_per_step']} ops/step)")
+    print(f"[bench_perf_engine] reference: "
+          f"{reference['steps_per_sec']:.2f} steps/s "
+          f"({reference['ops_per_step']} ops/step)")
+    print(f"[bench_perf_engine] speedup: {result['speedup']:.2f}x, "
+          f"op reduction: {result['op_reduction']:.1f}x -> {output}")
+    return result
+
+
+def test_engine_speedup(tmp_path):
+    """Acceptance: >=2x steps/sec and >=3x fewer ops with fused kernels."""
+    result = run_engine_benchmark(steps=5, repeats=3,
+                                  output=tmp_path / "BENCH_engine.json")
+    assert result["speedup"] >= 2.0
+    assert result["op_reduction"] >= 3.0
+    # Both paths trained on identical seeded arithmetic.
+    assert np.isclose(result["fused"]["final_d_loss"],
+                      result["reference"]["final_d_loss"], atol=1e-6)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=DEFAULT_STEPS,
+                        help="training iterations per timed block")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed blocks per mode (fastest one counts)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write BENCH_engine.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="exit non-zero unless the fused path wins")
+    args = parser.parse_args(argv)
+    result = run_engine_benchmark(steps=args.steps, repeats=args.repeats,
+                                  output=args.output)
+    if args.smoke and result["speedup"] < 1.0:
+        print("[bench_perf_engine] SMOKE FAILURE: fused slower than "
+              "reference", file=sys.stderr)
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -88,7 +88,7 @@ class NaiveGANBaseline(GenerativeModel):
             real = Tensor(flat_real[idx])
             with no_grad():
                 z = Tensor(rng.normal(size=(batch, self.noise_dim)))
-                fake_const = Tensor(self.activation(self.generator(z)).data)
+                fake_const = self.activation(self.generator(z)).detach()
             d_loss = critic_loss(self.discriminator, real, fake_const,
                                  self.gradient_penalty_weight, rng)
             d_opt.step(grad(d_loss, d_params, allow_unused=True))

@@ -15,7 +15,7 @@ import numpy as np
 from repro.baselines.base import (EmpiricalAttributeSampler, GenerativeModel,
                                   make_baseline_encoder)
 from repro.data.dataset import TimeSeriesDataset, padding_mask
-from repro.nn import LSTMCell, Linear, Adam, Tensor, grad, no_grad, ops
+from repro.nn import LSTMCell, Linear, Adam, Tensor, grad, kernels, no_grad, ops
 from repro.nn import functional as F
 
 __all__ = ["RNNBaseline"]
@@ -61,36 +61,74 @@ class RNNBaseline(GenerativeModel):
         self.loss_history = []
         for _ in range(self.iterations):
             idx = rng.integers(0, n, size=min(self.batch_size, n))
-            a = Tensor(attrs[idx])
-            batch = len(idx)
-            state = self.cell.initial_state(batch)
-            prev = Tensor(np.zeros((batch, dim)))
-            step_losses = []
             mask = mask_all[idx]
-            for t in range(tmax):
-                m = mask[:, t]
-                if not m.any():
-                    break
-                h, c = self.cell(ops.concat([a, prev], axis=1), state)
-                state = (h, c)
-                pred = ops.sigmoid(self.readout(h))
-                target = Tensor(feats[idx, t])
-                weight = Tensor(m[:, None])
-                diff = (pred - target) * weight
-                step_losses.append((diff * diff).sum())
-                prev = target  # teacher forcing
-            denom = float(mask.sum() * dim)
-            loss = ops.concat(
-                [ops.reshape(l, (1,)) for l in step_losses], axis=0
-            ).sum() / Tensor(denom)
+            if kernels.fused_enabled():
+                loss = self._fused_loss(attrs[idx], feats[idx], mask)
+            else:
+                loss = self._reference_loss(attrs[idx], feats[idx], mask)
             optimizer.step(grad(loss, params))
             self.loss_history.append(loss.item())
 
         firsts = feats[np.arange(n), 0]
+        self._finalize_fit(dataset, firsts)
+        return self
+
+    def _fused_loss(self, attrs: np.ndarray, feats: np.ndarray,
+                    mask: np.ndarray) -> Tensor:
+        """Masked next-step MSE via one fused LSTM scan.
+
+        Teacher forcing means every step's input -- [attributes, previous
+        *target* record] -- is known up front, so the whole batch runs as a
+        single :func:`repro.nn.kernels.lstm_sequence` node with the readout
+        applied to all steps at once.
+        """
+        batch, _, dim = feats.shape
+        t_used = max(int(mask.sum(axis=1).max()), 1)
+        prev = np.zeros((batch, t_used, dim))
+        prev[:, 1:] = feats[:, :t_used - 1]
+        cond = np.repeat(attrs[:, None, :], t_used, axis=1)
+        inputs = Tensor(np.concatenate([cond, prev], axis=2))
+        h0, c0 = self.cell.initial_state(batch)
+        h_seq = kernels.lstm_sequence(inputs, h0, c0, self.cell.weight_ih,
+                                      self.cell.weight_hh, self.cell.bias)
+        flat_h = ops.reshape(h_seq, (batch * t_used, -1))
+        pred = ops.sigmoid(self.readout(flat_h))
+        diff = ((ops.reshape(pred, (batch, t_used, dim))
+                 - Tensor(feats[:, :t_used]))
+                * Tensor(mask[:, :t_used, None].astype(np.float64)))
+        denom = float(mask.sum() * dim)
+        return (diff * diff).sum() / Tensor(denom)
+
+    def _reference_loss(self, attrs: np.ndarray, feats: np.ndarray,
+                        mask: np.ndarray) -> Tensor:
+        """Step-by-step reference path (kept for parity testing)."""
+        batch, _, dim = feats.shape
+        a = Tensor(attrs)
+        state = self.cell.initial_state(batch)
+        prev = Tensor(np.zeros((batch, dim)))
+        step_losses = []
+        for t in range(feats.shape[1]):
+            m = mask[:, t]
+            if not m.any():
+                break
+            h, c = self.cell(ops.concat([a, prev], axis=1), state)
+            state = (h, c)
+            pred = ops.sigmoid(self.readout(h))
+            target = Tensor(feats[:, t])
+            weight = Tensor(m[:, None])
+            diff = (pred - target) * weight
+            step_losses.append((diff * diff).sum())
+            prev = target  # teacher forcing
+        denom = float(mask.sum() * dim)
+        return ops.concat(
+            [ops.reshape(l, (1,)) for l in step_losses], axis=0
+        ).sum() / Tensor(denom)
+
+    def _finalize_fit(self, dataset: TimeSeriesDataset,
+                      firsts: np.ndarray) -> None:
         self._first_mean = firsts.mean(axis=0)
         self._first_std = firsts.std(axis=0) + 1e-6
         self.attribute_sampler.fit(dataset)
-        return self
 
     def generate(self, n: int,
                  rng: np.random.Generator | None = None) -> TimeSeriesDataset:

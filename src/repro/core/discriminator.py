@@ -6,6 +6,14 @@ Both are MLP critics (no output activation -- Wasserstein loss):
   ``[attributes, minmax, flattened features+flags]``.
 - :class:`AuxiliaryDiscriminator` scores only ``[attributes, minmax]``; the
   paper introduces it purely to improve fidelity on long objects.
+
+Double-backprop boundary: the WGAN-GP gradient penalty differentiates the
+critic twice with respect to its *input*, so everything on the critic path
+must stay fully differentiable.  The MLPs here dispatch to the fused
+:func:`repro.nn.kernels.linear`, whose VJP is expressed in differentiable
+primitives -- unlike the LSTM kernels (closed-form first-order VJPs), which
+are safe only because fake samples are detached before entering the critic
+loss and the penalty never reaches the generator.
 """
 
 from __future__ import annotations

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn import MLP, LSTMCell, Module, Tensor, ops
+from repro.nn import MLP, LSTMCell, Module, Tensor, kernels, ops
 from repro.nn import functional as F
 
 __all__ = ["OutputBlock", "BlockActivation", "AttributeGenerator",
@@ -175,6 +175,23 @@ class FeatureGenerator(Module):
         state = self.cell.initial_state(batch)
         conditioning = (ops.concat([attributes, minmax], axis=1)
                         if minmax.shape[1] else attributes)
+        if kernels.fused_enabled():
+            # Fused path: the per-pass inputs depend only on the (constant)
+            # conditioning and the pre-drawn noise, never on earlier
+            # outputs, so the whole scan runs as one lstm_sequence node and
+            # the MLP head + activations apply to all passes in one batch.
+            h0, c0 = state
+            cond_dim = conditioning.shape[1]
+            cond_seq = ops.broadcast_to(
+                ops.reshape(conditioning, (batch, 1, cond_dim)),
+                (batch, self.passes, cond_dim))
+            inputs = ops.concat([cond_seq, z_seq], axis=2)
+            h_seq = kernels.lstm_sequence(
+                inputs, h0, c0, self.cell.weight_ih, self.cell.weight_hh,
+                self.cell.bias)
+            flat_h = ops.reshape(h_seq, (batch * self.passes, -1))
+            out = self.activation(self.head(flat_h))
+            return ops.reshape(out, (batch, self.max_length, self.step_dim))
         chunks = []
         for p in range(self.passes):
             step_in = ops.concat([conditioning, z_seq[:, p, :]], axis=1)

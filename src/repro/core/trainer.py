@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.nn import profiler as nn_profiler
+
 from repro.core.config import DGConfig
 from repro.core.discriminator import AuxiliaryDiscriminator, Discriminator
 from repro.core.generator import (AttributeGenerator, FeatureGenerator,
@@ -34,6 +36,8 @@ class TrainingHistory:
     d_loss: list[float] = field(default_factory=list)
     g_loss: list[float] = field(default_factory=list)
     wasserstein: list[float] = field(default_factory=list)
+    # Per-op {"calls", "seconds"} table, populated by train(profile=True).
+    op_profile: dict | None = None
 
     def record(self, iteration: int, d_loss: float, g_loss: float,
                wasserstein: float) -> None:
@@ -143,7 +147,7 @@ class DGTrainer:
         batch = min(self.config.batch_size, len(data))
         with no_grad():
             fake = self.generate_batch(batch)
-        fake = tuple(Tensor(part.data) for part in fake)
+        fake = tuple(part.detach() for part in fake)
         real = self._real_batch(data, batch)
 
         if self._dp_processor is not None:
@@ -200,10 +204,26 @@ class DGTrainer:
     # -- full loop ---------------------------------------------------------------
     def train(self, data: EncodedDataset, iterations: int | None = None,
               log_every: int = 50,
-              callback=None) -> TrainingHistory:
-        """Run the alternating loop for ``iterations`` generator updates."""
+              callback=None, profile: bool = False) -> TrainingHistory:
+        """Run the alternating loop for ``iterations`` generator updates.
+
+        With ``profile=True`` the op-level profiler runs for the whole
+        loop and its per-op stats are stored on ``history.op_profile``.
+        """
         iterations = iterations or self.config.iterations
         history = TrainingHistory()
+        if profile:
+            with nn_profiler.profile() as prof:
+                self._train_loop(data, iterations, log_every, callback,
+                                 history)
+            history.op_profile = prof.stats()
+        else:
+            self._train_loop(data, iterations, log_every, callback, history)
+        return history
+
+    def _train_loop(self, data: EncodedDataset, iterations: int,
+                    log_every: int, callback, history: TrainingHistory
+                    ) -> None:
         for it in range(iterations):
             d_loss = w = 0.0
             for _ in range(self.config.discriminator_steps):
@@ -213,4 +233,3 @@ class DGTrainer:
                 history.record(it, d_loss, g_loss, w)
                 if callback is not None:
                     callback(it, history)
-        return history

@@ -8,6 +8,7 @@ print the same rows/series the paper reports via :func:`print_table`.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 
@@ -18,6 +19,7 @@ from repro.baselines import (ARBaseline, HMMBaseline, NaiveGANBaseline,
 from repro.core.doppelganger import DoppelGANger
 from repro.experiments.configs import (BENCH, BenchScale, baseline_kwargs,
                                        make_dataset, make_dg_config)
+from repro.nn import profiler as nn_profiler
 
 __all__ = ["MODEL_NAMES", "get_dataset", "get_model", "get_split",
            "print_table", "print_series", "clear_cache"]
@@ -94,7 +96,14 @@ def get_model(dataset_name: str, model_name: str, scale: BenchScale = BENCH,
     model = _build_model(dataset_name, model_name, scale, data.schema,
                          **config_overrides)
     started = time.time()
-    model.fit(data)
+    # REPRO_PROFILE=1 prints the op-level hot list of every training run.
+    if os.environ.get("REPRO_PROFILE"):
+        with nn_profiler.profile() as prof:
+            model.fit(data)
+        print(f"[harness] op profile for {model_name} on {dataset_name}:\n"
+              f"{prof.summary(top=12)}", file=sys.stderr)
+    else:
+        model.fit(data)
     elapsed = time.time() - started
     print(f"[harness] trained {MODEL_NAMES.get(model_name, model_name)} "
           f"on {dataset_name}{' (' + cache_tag + ')' if cache_tag else ''} "

@@ -1,0 +1,283 @@
+"""Fused execution kernels: one graph node per logical operation.
+
+The reference layers in :mod:`repro.nn.layers` build their math out of
+:mod:`repro.nn.ops` primitives -- roughly 17 graph nodes per LSTM step and
+T of everything for a length-T sequence.  On a numpy substrate the Python
+graph bookkeeping, not the arithmetic, is the wall-clock bottleneck.  The
+kernels here collapse the hot paths into single graph nodes with
+hand-written backward passes:
+
+- :func:`linear` -- fused ``x @ W + b``.  Its VJP is expressed with
+  *differentiable* ops, so double backprop (``create_graph=True``) works:
+  the WGAN-GP gradient penalty differentiates through the critic MLPs.
+- :func:`lstm_cell` -- all four gates in one numpy pass with a closed-form
+  (first-order only) VJP.
+- :func:`lstm_sequence` -- the whole (B, T, H) scan as ONE graph node; the
+  backward is hand-written truncated-free BPTT with batched weight-gradient
+  GEMMs.
+
+Double-backprop boundary (important): the gradient penalty only needs
+second-order gradients through the *discriminator* MLPs, never through the
+LSTM generator (fake samples are detached before entering the critic loss).
+So ``linear`` keeps a differentiable VJP while the LSTM kernels may use
+closed-form numpy VJPs; they raise a clear error if someone tries to build
+a higher-order graph through them -- switch to the reference path with
+``fused_kernels(False)`` for that.
+
+The reference slow path stays available behind the module-level flag::
+
+    with kernels.fused_kernels(False):   # bit-for-bit reference semantics
+        trainer.train(data)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.profiler import PROFILER, profiled
+from repro.nn.tensor import Tensor, astensor, is_grad_enabled
+
+__all__ = ["linear", "lstm_cell", "lstm_sequence",
+           "fused_enabled", "set_fused", "fused_kernels"]
+
+# Global dispatch flag consulted by the layers in repro.nn.layers.
+_FUSED = True
+
+
+def fused_enabled() -> bool:
+    """Whether layers dispatch to the fused kernels (default True)."""
+    return _FUSED
+
+
+def set_fused(enabled: bool) -> bool:
+    """Set the dispatch flag; returns the previous value."""
+    global _FUSED
+    previous = _FUSED
+    _FUSED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def fused_kernels(enabled: bool = True):
+    """Context manager scoping the fused/reference dispatch flag."""
+    previous = set_fused(enabled)
+    try:
+        yield
+    finally:
+        set_fused(previous)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Same stable piecewise logistic as ops.sigmoid (bit-identical per
+    # element), but masked so each branch's exp runs only on its own
+    # elements instead of np.where evaluating both on the full array.
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-np.clip(x[pos], -500, 500)))
+    neg = ~pos
+    e = np.exp(np.clip(x[neg], -500, 500))
+    out[neg] = e / (1.0 + e)
+    return out
+
+
+def _require_first_order(name: str) -> None:
+    if is_grad_enabled():
+        raise RuntimeError(
+            f"{name} has a closed-form first-order VJP; higher-order "
+            "gradients (create_graph=True) through the LSTM are not "
+            "supported on the fused path.  Wrap the computation in "
+            "repro.nn.kernels.fused_kernels(False) to use the "
+            "differentiable reference layers instead.")
+
+
+# -- fused affine -------------------------------------------------------------
+
+def linear(x, weight, bias) -> Tensor:
+    """Fused ``x @ W + b`` for 2-D ``x``: one graph node instead of two.
+
+    The VJP is written with differentiable primitives, so this op sits on
+    the *differentiable* side of the double-backprop boundary and is safe
+    inside WGAN-GP critics.
+    """
+    x, weight, bias = astensor(x), astensor(weight), astensor(bias)
+    if x.ndim != 2:
+        raise ValueError("kernels.linear requires a 2-D input")
+    out = x.data @ weight.data + bias.data
+
+    def vjp(g):
+        return (ops.matmul(g, ops.transpose(weight)),
+                ops.matmul(ops.transpose(x), g),
+                ops.sum_(g, axis=0))
+
+    return ops._result(out, (x, weight, bias), vjp)
+
+
+# -- fused LSTM cell ----------------------------------------------------------
+
+def lstm_cell(x, h_prev, c_prev, weight_ih, weight_hh, bias
+              ) -> tuple[Tensor, Tensor]:
+    """One LSTM step, all four gates in a single numpy pass.
+
+    Gate order in the fused weight matrices: input, forget, cell, output
+    (matching :class:`repro.nn.layers.LSTMCell`).  Returns ``(h, c)`` as
+    two graph nodes sharing one forward cache; the closed-form VJP of each
+    assumes zero upstream gradient on the other output, which is exact
+    because gradient contributions add linearly in the engine.
+    """
+    x, h_prev, c_prev = astensor(x), astensor(h_prev), astensor(c_prev)
+    weight_ih, weight_hh, bias = (astensor(weight_ih), astensor(weight_hh),
+                                  astensor(bias))
+    n = h_prev.shape[1]
+    z = x.data @ weight_ih.data + h_prev.data @ weight_hh.data + bias.data
+    i_f = _sigmoid(z[:, 0 * n:2 * n])  # input+forget gates share one pass
+    i = i_f[:, :n]
+    f = i_f[:, n:]
+    g_gate = np.tanh(z[:, 2 * n:3 * n])
+    o = _sigmoid(z[:, 3 * n:4 * n])
+    c = f * c_prev.data + i * g_gate
+    tanh_c = np.tanh(c)
+    h = o * tanh_c
+
+    parents = (x, h_prev, c_prev, weight_ih, weight_hh, bias)
+
+    def backward(dh: np.ndarray | None, dc_direct: np.ndarray | None):
+        started = time.perf_counter()
+        if dh is not None:
+            dc = dh * o * (1.0 - tanh_c * tanh_c)
+            dz_o = (dh * tanh_c) * (o * (1.0 - o))
+        else:
+            dc = np.zeros_like(c)
+            dz_o = np.zeros_like(c)
+        if dc_direct is not None:
+            dc = dc + dc_direct
+        dz = np.empty_like(z)
+        dz[:, 0 * n:1 * n] = (dc * g_gate) * (i * (1.0 - i))
+        dz[:, 1 * n:2 * n] = (dc * c_prev.data) * (f * (1.0 - f))
+        dz[:, 2 * n:3 * n] = (dc * i) * (1.0 - g_gate * g_gate)
+        dz[:, 3 * n:4 * n] = dz_o
+        grads = (Tensor(dz @ weight_ih.data.T),
+                 Tensor(dz @ weight_hh.data.T),
+                 Tensor(dc * f),
+                 Tensor(x.data.T @ dz),
+                 Tensor(h_prev.data.T @ dz),
+                 Tensor(dz.sum(axis=0)))
+        if PROFILER.active:
+            PROFILER.record("lstm_cell.backward",
+                            time.perf_counter() - started)
+        return grads
+
+    def vjp_h(g):
+        _require_first_order("lstm_cell")
+        return backward(g.data, None)
+
+    def vjp_c(g):
+        _require_first_order("lstm_cell")
+        return backward(None, g.data)
+
+    return (ops._result(h, parents, vjp_h),
+            ops._result(c, parents, vjp_c))
+
+
+# -- fused LSTM sequence scan -------------------------------------------------
+
+def lstm_sequence(x, h0, c0, weight_ih, weight_hh, bias) -> Tensor:
+    """Full LSTM scan over (B, T, D) inputs as ONE graph node.
+
+    Forward precomputes the input projection for all steps in a single
+    GEMM, then runs the recurrence caching gate activations.  The VJP is
+    hand-written backpropagation-through-time: a reverse python loop for
+    the recurrent part plus batched GEMMs for the weight gradients.
+    First-order only (see module docstring); gradients flow into the
+    inputs, both initial states, and all three parameters.
+
+    Returns the hidden states for every step, shape (B, T, H).
+    """
+    x, h0, c0 = astensor(x), astensor(h0), astensor(c0)
+    weight_ih, weight_hh, bias = (astensor(weight_ih), astensor(weight_hh),
+                                  astensor(bias))
+    if x.ndim != 3:
+        raise ValueError("lstm_sequence requires (batch, time, features)")
+    batch, steps, in_dim = x.shape
+    n = h0.shape[1]
+    whh = weight_hh.data
+    # One GEMM for every step's input contribution.
+    x_proj = (x.data.reshape(batch * steps, in_dim)
+              @ weight_ih.data).reshape(batch, steps, 4 * n)
+
+    i_all = np.empty((batch, steps, n))
+    f_all = np.empty((batch, steps, n))
+    g_all = np.empty((batch, steps, n))
+    o_all = np.empty((batch, steps, n))
+    c_prev_all = np.empty((batch, steps, n))
+    h_prev_all = np.empty((batch, steps, n))
+    tanh_c_all = np.empty((batch, steps, n))
+    h_out = np.empty((batch, steps, n))
+
+    h = h0.data
+    c = c0.data
+    for t in range(steps):
+        h_prev_all[:, t] = h
+        c_prev_all[:, t] = c
+        z = x_proj[:, t] + h @ whh + bias.data
+        i_f = _sigmoid(z[:, 0 * n:2 * n])  # input+forget gates, one pass
+        i = i_f[:, :n]
+        f = i_f[:, n:]
+        g_gate = np.tanh(z[:, 2 * n:3 * n])
+        o = _sigmoid(z[:, 3 * n:4 * n])
+        c = f * c + i * g_gate
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        i_all[:, t] = i
+        f_all[:, t] = f
+        g_all[:, t] = g_gate
+        o_all[:, t] = o
+        tanh_c_all[:, t] = tanh_c
+        h_out[:, t] = h
+
+    parents = (x, h0, c0, weight_ih, weight_hh, bias)
+
+    def vjp(g):
+        _require_first_order("lstm_sequence")
+        started = time.perf_counter()
+        upstream = g.data
+        dz_all = np.empty((batch, steps, 4 * n))
+        dh_next = np.zeros((batch, n))
+        dc_next = np.zeros((batch, n))
+        for t in reversed(range(steps)):
+            dh = upstream[:, t] + dh_next
+            tanh_c = tanh_c_all[:, t]
+            o = o_all[:, t]
+            i = i_all[:, t]
+            f = f_all[:, t]
+            g_gate = g_all[:, t]
+            dc = dc_next + dh * o * (1.0 - tanh_c * tanh_c)
+            dz = dz_all[:, t]
+            dz[:, 0 * n:1 * n] = (dc * g_gate) * (i * (1.0 - i))
+            dz[:, 1 * n:2 * n] = (dc * c_prev_all[:, t]) * (f * (1.0 - f))
+            dz[:, 2 * n:3 * n] = (dc * i) * (1.0 - g_gate * g_gate)
+            dz[:, 3 * n:4 * n] = (dh * tanh_c) * (o * (1.0 - o))
+            dh_next = dz @ whh.T
+            dc_next = dc * f
+        flat_dz = dz_all.reshape(batch * steps, 4 * n)
+        dx = (flat_dz @ weight_ih.data.T).reshape(batch, steps, in_dim)
+        d_wih = x.data.reshape(batch * steps, in_dim).T @ flat_dz
+        d_whh = h_prev_all.reshape(batch * steps, n).T @ flat_dz
+        d_bias = flat_dz.sum(axis=0)
+        grads = (Tensor(dx), Tensor(dh_next), Tensor(dc_next),
+                 Tensor(d_wih), Tensor(d_whh), Tensor(d_bias))
+        if PROFILER.active:
+            PROFILER.record("lstm_sequence.backward",
+                            time.perf_counter() - started)
+        return grads
+
+    return ops._result(h_out, parents, vjp)
+
+
+# Profile the fused kernels alongside the ops primitives.
+linear = profiled(linear, name="linear")
+lstm_cell = profiled(lstm_cell, name="lstm_cell")
+lstm_sequence = profiled(lstm_sequence, name="lstm_sequence")

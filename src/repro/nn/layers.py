@@ -3,6 +3,11 @@
 Mirrors the architecture palette the paper uses (Appendix B): MLPs with a few
 hidden layers for generators/discriminators, and a single-layer LSTM for the
 feature generator.
+
+Hot paths (Linear, LSTMCell, LSTM) dispatch to the fused kernels in
+:mod:`repro.nn.kernels` by default; the op-by-op reference implementations
+remain available under ``kernels.fused_kernels(False)`` and are the ground
+truth the fused kernels are parity-tested against.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn import init, ops
+from repro.nn import init, kernels, ops
 from repro.nn.tensor import Parameter, Tensor
 
 __all__ = ["Module", "Linear", "MLP", "LSTMCell", "LSTM", "GRUCell",
@@ -100,6 +105,8 @@ class Linear(Module):
         self.bias = Parameter(init.zeros(out_features), name="bias")
 
     def forward(self, x: Tensor) -> Tensor:
+        if kernels.fused_enabled() and x.ndim == 2:
+            return kernels.linear(x, self.weight, self.bias)
         return ops.matmul(x, self.weight) + self.bias
 
 
@@ -164,6 +171,9 @@ class LSTMCell(Module):
     def forward(self, x: Tensor, state: tuple[Tensor, Tensor]
                 ) -> tuple[Tensor, Tensor]:
         h_prev, c_prev = state
+        if kernels.fused_enabled():
+            return kernels.lstm_cell(x, h_prev, c_prev, self.weight_ih,
+                                     self.weight_hh, self.bias)
         gates = (ops.matmul(x, self.weight_ih)
                  + ops.matmul(h_prev, self.weight_hh) + self.bias)
         n = self.hidden_size
@@ -231,6 +241,9 @@ class LSTM(Module):
         if state is None:
             state = self.cell.initial_state(batch)
         h, c = state
+        if kernels.fused_enabled():
+            return kernels.lstm_sequence(x, h, c, self.cell.weight_ih,
+                                         self.cell.weight_hh, self.cell.bias)
         outputs = []
         for t in range(steps):
             h, c = self.cell(x[:, t, :], (h, c))

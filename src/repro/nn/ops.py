@@ -371,6 +371,23 @@ def _scatter(g, index, shape: tuple) -> Tensor:
     return _result(out, (g,), vjp)
 
 
+# -- profiler instrumentation -------------------------------------------------
+
+def _instrument_ops() -> None:
+    """Wrap every public primitive so the op-level profiler sees it.
+
+    Reassigning the module globals also covers calls made from inside VJP
+    closures (they resolve op names at call time), so backward passes are
+    profiled with the same granularity as forward ones.
+    """
+    from repro.nn.profiler import profiled
+    for name in __all__:
+        globals()[name] = profiled(globals()[name], name=name.rstrip("_"))
+
+
+_instrument_ops()
+
+
 # -- operator overloads -------------------------------------------------------
 
 def _attach_operators() -> None:

@@ -106,15 +106,22 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut off from the graph."""
-        out = Tensor(self.data)
+        out = Tensor.__new__(Tensor)
         out.data = self.data  # share storage, like torch.detach
+        out.requires_grad = False
+        out.grad = None
+        out._parents = ()
+        out._vjp = None
+        out.name = None
         return out
 
     # -- gradient entry points ----------------------------------------------
     def backward(self, grad_output: "Tensor | np.ndarray | None" = None) -> None:
         """Accumulate gradients into ``.grad`` of all reachable leaves."""
-        leaves = [t for t in _toposort(self) if t.is_leaf and t.requires_grad]
-        grads = grad(self, leaves, grad_output=grad_output, allow_unused=True)
+        order = _toposort(self)
+        leaves = [t for t in order if t.is_leaf and t.requires_grad]
+        grads = grad(self, leaves, grad_output=grad_output, allow_unused=True,
+                     _order=order)
         for leaf, g in zip(leaves, grads):
             if g is None:
                 continue
@@ -178,6 +185,7 @@ def grad(
     grad_output: Tensor | np.ndarray | None = None,
     create_graph: bool = False,
     allow_unused: bool = False,
+    _order: list["Tensor"] | None = None,
 ) -> list[Tensor | None]:
     """Compute d(output)/d(input) for every tensor in ``inputs``.
 
@@ -190,6 +198,9 @@ def grad(
             enabling second-order differentiation (gradient penalty).
         allow_unused: If False, raise when an input is unreachable from
             ``output``; if True, return None for such inputs.
+        _order: Precomputed ``_toposort(output)`` (internal; lets
+            :meth:`Tensor.backward` reuse its leaf-discovery walk instead
+            of toposorting the graph twice).
 
     Returns:
         One gradient tensor per input (or None when unused and allowed).
@@ -204,7 +215,8 @@ def grad(
             f"grad_output shape {grad_output.shape} != output shape {output.shape}"
         )
 
-    return _grad_impl(output, inputs, grad_output, create_graph, allow_unused)
+    return _grad_impl(output, inputs, grad_output, create_graph,
+                      allow_unused, _order)
 
 
 def _grad_impl(
@@ -213,12 +225,15 @@ def _grad_impl(
     grad_output: Tensor,
     create_graph: bool,
     allow_unused: bool,
+    order: list[Tensor] | None = None,
 ) -> list[Tensor | None]:
     wanted = {id(t) for t in inputs}
     context = contextlib.nullcontext() if create_graph else no_grad()
     grads: dict[int, Tensor] = {id(output): grad_output}
+    if order is None:
+        order = _toposort(output)
     with context:
-        for node in reversed(_toposort(output)):
+        for node in reversed(order):
             if id(node) in wanted:
                 node_grad = grads.get(id(node))
             else:

@@ -1,0 +1,251 @@
+"""Parity and gradcheck tests for the fused kernels (repro.nn.kernels).
+
+Every fused kernel is checked three ways: forward parity against the
+reference op-by-op path, gradient parity against the reference path, and
+gradients against central finite differences (the same pattern as
+tests/nn/test_double_backprop.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (LSTM, MLP, Linear, LSTMCell, Tensor, grad, kernels,
+                      ops)
+
+RNG = np.random.default_rng(99)
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    g = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f()
+        flat[i] = orig - eps
+        down = f()
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return g
+
+
+class TestFusedLinear:
+    def test_forward_matches_reference(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        x = Tensor(RNG.normal(size=(7, 5)))
+        with kernels.fused_kernels(True):
+            fused = layer(x)
+        with kernels.fused_kernels(False):
+            reference = layer(x)
+        assert np.array_equal(fused.data, reference.data)
+
+    def test_gradients_match_reference_and_finite_difference(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(1))
+        x = Tensor(RNG.normal(size=(6, 4)), requires_grad=True)
+        wanted = [x, layer.weight, layer.bias]
+
+        with kernels.fused_kernels(True):
+            g_fused = grad((layer(x) ** 2).sum(), wanted)
+        with kernels.fused_kernels(False):
+            g_ref = grad((layer(x) ** 2).sum(), wanted)
+        for gf, gr in zip(g_fused, g_ref):
+            assert np.allclose(gf.data, gr.data, atol=1e-12)
+
+        def value() -> float:
+            out = x.data @ layer.weight.data + layer.bias.data
+            return float((out ** 2).sum())
+
+        for tensor, gf in zip(wanted, g_fused):
+            expected = numeric_grad(value, tensor.data)
+            assert np.allclose(gf.data, expected, atol=1e-4)
+
+    def test_second_order_through_fused_linear(self):
+        # The critic path must support double backprop with fused linear on.
+        mlp = MLP(4, [8], 1, activation="tanh", rng=np.random.default_rng(2))
+        x = Tensor(RNG.normal(size=(5, 4)), requires_grad=True)
+        with kernels.fused_kernels(True):
+            (g1,) = grad(mlp(x).sum(), [x], create_graph=True)
+            penalty = (g1 ** 2).sum()
+            weights = [p for p in mlp.parameters() if p.ndim == 2]
+            analytic = grad(penalty, weights, allow_unused=True)
+
+        def penalty_value() -> float:
+            xt = Tensor(x.data, requires_grad=True)
+            with kernels.fused_kernels(False):
+                (gg,) = grad(mlp(xt).sum(), [xt])
+            return float((gg.data ** 2).sum())
+
+        for w, ga in zip(weights, analytic):
+            expected = numeric_grad(penalty_value, w.data)
+            assert np.allclose(ga.data, expected, atol=1e-4)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            kernels.linear(Tensor(np.zeros((2, 3, 4))),
+                           Tensor(np.zeros((4, 2))), Tensor(np.zeros(2)))
+
+
+class TestFusedLSTMCell:
+    def _cell(self, seed=3):
+        return LSTMCell(3, 5, rng=np.random.default_rng(seed))
+
+    def test_forward_matches_reference(self):
+        cell = self._cell()
+        x = Tensor(RNG.normal(size=(4, 3)))
+        state = cell.initial_state(4)
+        with kernels.fused_kernels(True):
+            hf, cf = cell(x, state)
+        with kernels.fused_kernels(False):
+            hr, cr = cell(x, state)
+        assert np.array_equal(hf.data, hr.data)
+        assert np.array_equal(cf.data, cr.data)
+
+    def test_gradients_match_reference(self):
+        cell = self._cell()
+        x = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        h0 = Tensor(RNG.normal(size=(4, 5)) * 0.3, requires_grad=True)
+        c0 = Tensor(RNG.normal(size=(4, 5)) * 0.3, requires_grad=True)
+        wanted = [x, h0, c0, cell.weight_ih, cell.weight_hh, cell.bias]
+
+        def loss_through(two_steps: bool):
+            # Two chained steps so h AND c both carry gradient backwards.
+            h, c = cell(x, (h0, c0))
+            if two_steps:
+                h, c = cell(x, (h, c))
+            return (h * h).sum() + (c * c).sum()
+
+        with kernels.fused_kernels(True):
+            g_fused = grad(loss_through(True), wanted)
+        with kernels.fused_kernels(False):
+            g_ref = grad(loss_through(True), wanted)
+        for gf, gr in zip(g_fused, g_ref):
+            assert np.allclose(gf.data, gr.data, atol=1e-10)
+
+    def test_gradients_match_finite_difference(self):
+        cell = self._cell(seed=4)
+        x = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        h0 = Tensor(RNG.normal(size=(2, 5)) * 0.2, requires_grad=True)
+        c0 = Tensor(RNG.normal(size=(2, 5)) * 0.2, requires_grad=True)
+        wanted = [x, h0, c0, cell.weight_ih, cell.weight_hh, cell.bias]
+        with kernels.fused_kernels(True):
+            h, c = cell(x, (h0, c0))
+            g_fused = grad((h * h).sum() + (c * c).sum(), wanted)
+
+        def value() -> float:
+            with kernels.fused_kernels(False):
+                h, c = cell(Tensor(x.data), (Tensor(h0.data),
+                                             Tensor(c0.data)))
+            return float((h.data ** 2).sum() + (c.data ** 2).sum())
+
+        for tensor, gf in zip(wanted, g_fused):
+            expected = numeric_grad(value, tensor.data)
+            assert np.allclose(gf.data, expected, atol=1e-4)
+
+    def test_higher_order_raises_with_clear_message(self):
+        cell = self._cell()
+        x = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        with kernels.fused_kernels(True):
+            h, _ = cell(x, cell.initial_state(2))
+            with pytest.raises(RuntimeError, match="first-order"):
+                grad((h * h).sum(), [x], create_graph=True)
+
+
+class TestFusedLSTMSequence:
+    def _lstm(self, seed=5):
+        return LSTM(3, 4, rng=np.random.default_rng(seed))
+
+    def test_forward_matches_reference(self):
+        lstm = self._lstm()
+        x = Tensor(RNG.normal(size=(4, 6, 3)))
+        with kernels.fused_kernels(True):
+            fused = lstm(x)
+        with kernels.fused_kernels(False):
+            reference = lstm(x)
+        assert fused.shape == (4, 6, 4)
+        assert np.allclose(fused.data, reference.data, atol=1e-14)
+
+    def test_gradients_match_reference_all_parameters(self):
+        lstm = self._lstm(seed=6)
+        cell = lstm.cell
+        x = Tensor(RNG.normal(size=(3, 5, 3)), requires_grad=True)
+        h0 = Tensor(RNG.normal(size=(3, 4)) * 0.3, requires_grad=True)
+        c0 = Tensor(RNG.normal(size=(3, 4)) * 0.3, requires_grad=True)
+        wanted = [x, h0, c0, cell.weight_ih, cell.weight_hh, cell.bias]
+        with kernels.fused_kernels(True):
+            g_fused = grad((lstm(x, (h0, c0)) ** 2).sum(), wanted)
+        with kernels.fused_kernels(False):
+            g_ref = grad((lstm(x, (h0, c0)) ** 2).sum(), wanted)
+        for gf, gr in zip(g_fused, g_ref):
+            assert gf.shape == gr.shape
+            assert np.allclose(gf.data, gr.data, atol=1e-10)
+            assert float(np.abs(gf.data).sum()) > 0  # gradient actually flows
+
+    def test_gradients_match_finite_difference(self):
+        lstm = self._lstm(seed=7)
+        cell = lstm.cell
+        x = Tensor(RNG.normal(size=(2, 4, 3)), requires_grad=True)
+        h0 = Tensor(RNG.normal(size=(2, 4)) * 0.2, requires_grad=True)
+        c0 = Tensor(RNG.normal(size=(2, 4)) * 0.2, requires_grad=True)
+        wanted = [x, h0, c0, cell.weight_ih, cell.weight_hh, cell.bias]
+        with kernels.fused_kernels(True):
+            g_fused = grad((lstm(x, (h0, c0)) ** 2).sum(), wanted)
+
+        def value() -> float:
+            with kernels.fused_kernels(False):
+                out = lstm(Tensor(x.data), (Tensor(h0.data), Tensor(c0.data)))
+            return float((out.data ** 2).sum())
+
+        for tensor, gf in zip(wanted, g_fused):
+            expected = numeric_grad(value, tensor.data)
+            assert np.allclose(gf.data, expected, atol=1e-4)
+
+    def test_higher_order_raises_with_clear_message(self):
+        lstm = self._lstm()
+        x = Tensor(RNG.normal(size=(2, 3, 3)), requires_grad=True)
+        with kernels.fused_kernels(True):
+            out = lstm(x)
+            with pytest.raises(RuntimeError, match="fused_kernels"):
+                grad((out ** 2).sum(), [x], create_graph=True)
+
+    def test_rejects_non_3d(self):
+        cell = LSTMCell(3, 4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="batch, time, features"):
+            kernels.lstm_sequence(Tensor(np.zeros((2, 3))),
+                                  Tensor(np.zeros((2, 4))),
+                                  Tensor(np.zeros((2, 4))),
+                                  cell.weight_ih, cell.weight_hh, cell.bias)
+
+
+class TestDispatchFlag:
+    def test_flag_scoping_restores_previous_value(self):
+        assert kernels.fused_enabled()
+        with kernels.fused_kernels(False):
+            assert not kernels.fused_enabled()
+            with kernels.fused_kernels(True):
+                assert kernels.fused_enabled()
+            assert not kernels.fused_enabled()
+        assert kernels.fused_enabled()
+
+    def test_graph_node_reduction_per_lstm_step(self):
+        """The tentpole target: >=3x fewer graph nodes per LSTM step."""
+
+        def count_nodes(root: Tensor) -> int:
+            seen, stack = set(), [root]
+            while stack:
+                node = stack.pop()
+                if id(node) in seen or node.is_leaf:
+                    continue
+                seen.add(id(node))
+                stack.extend(node._parents)
+            return len(seen)
+
+        lstm = LSTM(3, 4, rng=np.random.default_rng(8))
+        steps = 6
+        x = Tensor(RNG.normal(size=(2, steps, 3)), requires_grad=True)
+        with kernels.fused_kernels(True):
+            fused_nodes = count_nodes(lstm(x))
+        with kernels.fused_kernels(False):
+            reference_nodes = count_nodes(lstm(x))
+        assert reference_nodes >= 3 * fused_nodes
+        assert reference_nodes / steps >= 3 * max(fused_nodes / steps, 1 / steps)

@@ -1,0 +1,63 @@
+"""Tests for the op-level profiler (repro.nn.profiler)."""
+
+import numpy as np
+
+from repro.nn import MLP, Tensor, grad, kernels, profiler
+
+
+RNG = np.random.default_rng(17)
+
+
+class TestOpProfiler:
+    def test_inactive_by_default_records_nothing(self):
+        profiler.PROFILER.reset()
+        mlp = MLP(3, [4], 2, rng=np.random.default_rng(0))
+        mlp(Tensor(RNG.normal(size=(2, 3))))
+        assert profiler.PROFILER.total_calls() == 0
+
+    def test_profile_context_records_forward_and_backward(self):
+        mlp = MLP(3, [4], 2, rng=np.random.default_rng(0))
+        x = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        with profiler.profile() as prof:
+            loss = (mlp(x) ** 2).sum()
+            grad(loss, mlp.parameters(), allow_unused=True)
+        stats = prof.stats()
+        assert "linear" in stats  # fused forward
+        assert "matmul" in stats  # differentiable linear VJP
+        assert all(entry["calls"] >= 1 and entry["seconds"] >= 0.0
+                   for entry in stats.values())
+        # Deactivated on exit.
+        before = prof.total_calls()
+        mlp(Tensor(RNG.normal(size=(2, 3))))
+        assert prof.total_calls() == before
+
+    def test_fused_lstm_records_kernel_and_backward(self):
+        from repro.nn import LSTM
+        lstm = LSTM(3, 4, rng=np.random.default_rng(1))
+        x = Tensor(RNG.normal(size=(2, 5, 3)), requires_grad=True)
+        with kernels.fused_kernels(True), profiler.profile() as prof:
+            grad((lstm(x) ** 2).sum(), [x])
+        stats = prof.stats()
+        assert stats["lstm_sequence"]["calls"] == 1
+        assert stats["lstm_sequence.backward"]["calls"] == 1
+
+    def test_summary_is_sorted_and_aligned(self):
+        with profiler.profile() as prof:
+            prof.record("slow_op", 2.0)
+            prof.record("fast_op", 0.5)
+        lines = prof.summary().splitlines()
+        assert lines[0].split() == ["op", "calls", "seconds"]
+        assert lines[1].startswith("slow_op")
+        assert lines[2].startswith("fast_op")
+        assert prof.summary(top=1).count("\n") == 1
+
+    def test_trainer_profile_option(self, tiny_gcut):
+        from repro.core import DoppelGANger
+        from tests.conftest import tiny_dg_config
+        model = DoppelGANger(tiny_gcut.schema, tiny_dg_config(iterations=2))
+        history = model.fit(tiny_gcut)
+        assert history.op_profile is None
+        history = model.trainer.train(
+            model.encoder.transform(tiny_gcut), iterations=2, profile=True)
+        assert history.op_profile
+        assert "lstm_sequence" in history.op_profile
