@@ -18,6 +18,7 @@ without writing code:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -58,6 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the auto-normalisation generator")
     train.add_argument("--no-aux", action="store_true",
                        help="disable the auxiliary discriminator")
+    train.add_argument("--checkpoint", default=None,
+                       help="write resumable training state to this file")
+    train.add_argument("--checkpoint-every", type=int, default=25,
+                       help="iterations between checkpoint writes")
+    train.add_argument("--resume", action="store_true",
+                       help="resume from --checkpoint if it exists "
+                            "(bit-identical continuation)")
+    train.add_argument("--sentinel", action="store_true",
+                       help="enable the divergence sentinel "
+                            "(NaN/runaway detection with rollback)")
+    train.add_argument("--max-retries", type=int, default=3,
+                       help="sentinel rollback budget per snapshot window")
 
     gen = sub.add_parser("generate", help="sample a trained model")
     gen.add_argument("--model", required=True)
@@ -102,12 +115,33 @@ def _cmd_train(args) -> int:
         use_auxiliary_discriminator=not args.no_aux,
     )
     model = DoppelGANger(data.schema, config)
-    model.fit(data, log_every=max(args.iterations // 10, 1),
-              callback=lambda it, h: print(
-                  f"iteration {it}: d_loss={h.d_loss[-1]:.3f} "
-                  f"g_loss={h.g_loss[-1]:.3f}"))
+    resume_from = None
+    if args.resume:
+        if not args.checkpoint:
+            print("--resume requires --checkpoint", file=sys.stderr)
+            return 2
+        if os.path.exists(args.checkpoint):
+            resume_from = args.checkpoint
+            print(f"resuming from {args.checkpoint}")
+    sentinel = None
+    if args.sentinel:
+        from repro.resilience import SentinelPolicy
+        sentinel = SentinelPolicy(max_retries=args.max_retries)
+    history = model.fit(
+        data, log_every=max(args.iterations // 10, 1),
+        callback=lambda it, h: print(
+            f"iteration {it}: d_loss={h.d_loss[-1]:.3f} "
+            f"g_loss={h.g_loss[-1]:.3f}"),
+        train_state_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every if args.checkpoint else None,
+        resume_from=resume_from, sentinel=sentinel)
     model.save(args.out)
     print(f"model parameters written to {args.out} (S={sample_len})")
+    if history.rollbacks or history.nan_events or history.runaway_events:
+        print(f"sentinel events: nan={history.nan_events} "
+              f"runaway={history.runaway_events} "
+              f"rollbacks={history.rollbacks} "
+              f"lr_decays={history.lr_decays}")
     return 0
 
 

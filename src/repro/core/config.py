@@ -98,6 +98,15 @@ class DGConfig:
             raise ValueError("generator_output_scale must be positive")
         if self.loss_type not in ("wasserstein", "vanilla"):
             raise ValueError("loss_type must be 'wasserstein' or 'vanilla'")
+        if self.iterations < 1:
+            raise ValueError(
+                f"iterations must be >= 1, got {self.iterations}; a "
+                f"non-positive count would silently train for 0 steps")
+        if self.discriminator_steps < 1:
+            raise ValueError(
+                f"discriminator_steps must be >= 1, got "
+                f"{self.discriminator_steps}; the WGAN-GP loop needs at "
+                f"least one critic update per generator update")
 
     def validate_for_length(self, max_length: int) -> None:
         """Check S divides the (padded) series length, as §4.1.1 requires."""

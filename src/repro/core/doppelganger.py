@@ -106,7 +106,9 @@ class DoppelGANger:
     def fit(self, dataset: TimeSeriesDataset,
             iterations: int | None = None, log_every: int = 50,
             callback=None, checkpoint_path=None,
-            keep_best_by=None) -> TrainingHistory:
+            keep_best_by=None, *, train_state_path=None,
+            checkpoint_every: int | None = None, resume_from=None,
+            sentinel=None) -> TrainingHistory:
         """Train on a raw dataset (encoder is fit here too).
 
         Args:
@@ -125,6 +127,15 @@ class DoppelGANger:
                 selecting the best snapshot by a fidelity metric -- e.g.
                 autocorrelation MSE against the training data -- is often
                 better than taking the final iterate.
+            train_state_path: Destination for resumable full training
+                state (parameters + optimizer moments + RNG + history),
+                written atomically every ``checkpoint_every`` iterations.
+                Unlike ``checkpoint_path``, resuming from this file
+                continues training bit-identically (docs/robustness.md).
+            checkpoint_every: Cadence for ``train_state_path`` writes.
+            resume_from: A ``train_state_path`` file to resume from.
+            sentinel: Divergence sentinel switch/policy (see
+                :meth:`repro.core.trainer.DGTrainer.train`).
         """
         if dataset.schema != self.schema:
             raise ValueError("dataset schema does not match model schema")
@@ -153,7 +164,10 @@ class DoppelGANger:
                        or checkpoint_path is not None)
         self.history = self.trainer.train(
             encoded, iterations=iterations, log_every=log_every,
-            callback=wrapped if use_wrapper else None)
+            callback=wrapped if use_wrapper else None,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=train_state_path, resume_from=resume_from,
+            sentinel=sentinel)
         if best["state"] is not None:
             for name, module in self._generator_modules().items():
                 module.load_state_dict(best["state"][name])

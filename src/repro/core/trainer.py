@@ -4,6 +4,12 @@ Alternates critic and generator updates with the combined two-discriminator
 loss of Eq. 2.  Optionally applies DP-SGD (per-microbatch clipping + noise)
 to the discriminator updates, which are the only updates that touch real
 data -- this is the §5.3.1 experiment substrate.
+
+The loop is wired into :mod:`repro.resilience`: ``train`` can write atomic
+full-state checkpoints (``checkpoint_every=``/``checkpoint_path=``), resume
+from one bit-identically (``resume_from=``), and run under a divergence
+sentinel that rolls back to the last good snapshot on NaN/Inf/runaway
+losses (``sentinel=``).
 """
 
 from __future__ import annotations
@@ -24,13 +30,22 @@ from repro.core.losses import (critic_loss, generator_loss,
 from repro.data.encoding import EncodedDataset
 from repro.nn import Adam, DPGradientProcessor, Tensor, grad, no_grad
 from repro.nn.optim import clip_grad_norm
+from repro.resilience import checkpoint as ckpt
+from repro.resilience import faults
+from repro.resilience.sentinel import (DivergenceDetected,
+                                       DivergenceSentinel, TrainingDiverged)
 
 __all__ = ["TrainingHistory", "DGTrainer"]
 
 
 @dataclass
 class TrainingHistory:
-    """Loss traces recorded during training."""
+    """Loss traces and instability counters recorded during training.
+
+    The counters make instability observable instead of silent: a run that
+    finished only because the sentinel rolled back twice reports
+    ``rollbacks == 2`` rather than a clean-looking loss trace.
+    """
 
     iterations: list[int] = field(default_factory=list)
     d_loss: list[float] = field(default_factory=list)
@@ -39,12 +54,29 @@ class TrainingHistory:
     # Per-op {"calls", "seconds"} table, populated by train(profile=True).
     op_profile: dict | None = None
 
+    # Sentinel / resilience counters (survive rollbacks and resumes).
+    nan_events: int = 0
+    runaway_events: int = 0
+    step_faults: int = 0
+    rollbacks: int = 0
+    lr_decays: int = 0
+    resumes: int = 0
+
     def record(self, iteration: int, d_loss: float, g_loss: float,
                wasserstein: float) -> None:
         self.iterations.append(iteration)
         self.d_loss.append(d_loss)
         self.g_loss.append(g_loss)
         self.wasserstein.append(wasserstein)
+
+    def note_event(self, reason: str) -> None:
+        """Tally one sentinel trigger by reason."""
+        if reason == "nan":
+            self.nan_events += 1
+        elif reason == "runaway":
+            self.runaway_events += 1
+        else:
+            self.step_faults += 1
 
 
 class DGTrainer:
@@ -204,32 +236,143 @@ class DGTrainer:
     # -- full loop ---------------------------------------------------------------
     def train(self, data: EncodedDataset, iterations: int | None = None,
               log_every: int = 50,
-              callback=None, profile: bool = False) -> TrainingHistory:
+              callback=None, profile: bool = False,
+              checkpoint_every: int | None = None,
+              checkpoint_path=None, resume_from=None,
+              sentinel=None) -> TrainingHistory:
         """Run the alternating loop for ``iterations`` generator updates.
 
         With ``profile=True`` the op-level profiler runs for the whole
         loop and its per-op stats are stored on ``history.op_profile``.
+
+        Args:
+            checkpoint_every: Write a full-state checkpoint to
+                ``checkpoint_path`` every this many completed iterations
+                (and once more at the end of training).
+            checkpoint_path: Destination for checkpoints (atomic writes).
+            resume_from: Path of a checkpoint to resume from; restores
+                parameters, Adam moments, RNG state, iteration counter,
+                and loss history, so the continued run is bit-identical
+                to an uninterrupted one.
+            sentinel: ``True``, a :class:`SentinelPolicy`, or a
+                :class:`DivergenceSentinel`; enables per-step NaN/Inf and
+                runaway-loss detection with rollback + bounded retry.
         """
         iterations = iterations or self.config.iterations
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        if self.config.discriminator_steps < 1:
+            raise ValueError("discriminator_steps must be >= 1, got "
+                             f"{self.config.discriminator_steps}")
+        if self.config.batch_size > len(data):
+            raise ValueError(
+                f"batch_size={self.config.batch_size} exceeds the dataset "
+                f"size ({len(data)} objects); lower batch_size or provide "
+                f"more training data")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1, got "
+                                 f"{checkpoint_every}")
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every requires "
+                                 "checkpoint_path")
+        sentinel = DivergenceSentinel.coerce(sentinel)
+
         history = TrainingHistory()
+        # Exposed immediately (not only on return) so harness code can
+        # inspect partial progress after a failure.
+        self.history = history
+        start_iteration = 0
+        if resume_from is not None:
+            start_iteration = ckpt.load_checkpoint(self, resume_from,
+                                                   history)
+            history.resumes += 1
         if profile:
             with nn_profiler.profile() as prof:
                 self._train_loop(data, iterations, log_every, callback,
-                                 history)
+                                 history, start_iteration,
+                                 checkpoint_every, checkpoint_path,
+                                 sentinel)
             history.op_profile = prof.stats()
         else:
-            self._train_loop(data, iterations, log_every, callback, history)
+            self._train_loop(data, iterations, log_every, callback,
+                             history, start_iteration, checkpoint_every,
+                             checkpoint_path, sentinel)
         return history
 
     def _train_loop(self, data: EncodedDataset, iterations: int,
-                    log_every: int, callback, history: TrainingHistory
-                    ) -> None:
-        for it in range(iterations):
-            d_loss = w = 0.0
-            for _ in range(self.config.discriminator_steps):
-                d_loss, w = self.discriminator_step(data)
-            g_loss = self.generator_step()
+                    log_every: int, callback, history: TrainingHistory,
+                    start_iteration: int = 0,
+                    checkpoint_every: int | None = None,
+                    checkpoint_path=None,
+                    sentinel: DivergenceSentinel | None = None) -> None:
+        retries = 0
+        last_good = None
+        if sentinel is not None:
+            last_good = ckpt.snapshot_trainer(self, start_iteration,
+                                              history)
+        it = start_iteration
+        while it < iterations:
+            try:
+                faults.fire("trainer.step", step=it)
+                d_loss = w = 0.0
+                for _ in range(self.config.discriminator_steps):
+                    d_loss, w = self.discriminator_step(data)
+                d_loss = faults.fire("trainer.critic_loss", step=it,
+                                     value=d_loss)
+                g_loss = self.generator_step()
+                g_loss = faults.fire("trainer.generator_loss", step=it,
+                                     value=g_loss)
+                if sentinel is not None:
+                    sentinel.check(it, d_loss, g_loss, w)
+            except (DivergenceDetected, faults.FaultInjected,
+                    FloatingPointError) as exc:
+                if sentinel is None:
+                    raise
+                reason = getattr(exc, "reason", "step_error")
+                history.note_event(reason)
+                if retries >= sentinel.policy.max_retries:
+                    raise TrainingDiverged(
+                        f"training diverged at iteration {it} and the "
+                        f"retry budget ({sentinel.policy.max_retries}) is "
+                        f"exhausted: {exc}", iteration=it,
+                        rollbacks=history.rollbacks) from exc
+                it = ckpt.restore_trainer(self, last_good, history)
+                retries += 1
+                history.rollbacks += 1
+                if sentinel.policy.lr_decay < 1.0:
+                    # Restore reset the lr to the snapshot's value, so
+                    # compound the decay over the retries taken since.
+                    factor = sentinel.policy.lr_decay ** retries
+                    self.g_optimizer.lr *= factor
+                    self.d_optimizer.lr *= factor
+                    history.lr_decays += 1
+                if sentinel.policy.reseed:
+                    # Deterministically derived fresh noise path so the
+                    # retry does not replay the exact failing batch.
+                    self.rng = np.random.default_rng(
+                        (self.config.seed, 0x5EED, history.rollbacks))
+                continue
             if it % log_every == 0 or it == iterations - 1:
                 history.record(it, d_loss, g_loss, w)
                 if callback is not None:
                     callback(it, history)
+            it += 1
+            checkpoint_due = checkpoint_every is not None and (
+                it % checkpoint_every == 0 or it == iterations)
+            snapshot_due = sentinel is not None and (
+                it % sentinel.policy.snapshot_every == 0
+                or checkpoint_due)
+            if not (checkpoint_due or snapshot_due):
+                continue
+            if sentinel is not None and not ckpt.trainer_params_finite(
+                    self):
+                # Weights are already poisoned even though the losses
+                # still looked finite; keep the older snapshot so the
+                # next sentinel trigger rolls back past the damage.
+                continue
+            if checkpoint_due:
+                ckpt.save_checkpoint(self, checkpoint_path, it, history)
+            if snapshot_due:
+                last_good = ckpt.snapshot_trainer(self, it, history)
+                retries = 0

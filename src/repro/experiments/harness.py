@@ -2,8 +2,15 @@
 
 Training a GAN is expensive relative to the metrics computed on it, and many
 figures evaluate the *same* trained models, so this module memoises datasets
-and trained models per (dataset, model) key within the process.  Benchmarks
-print the same rows/series the paper reports via :func:`print_table`.
+and trained models per (dataset, model) key within the process.  The caches
+are LRU-bounded (:func:`configure_cache`) so long sweeps cannot grow memory
+without limit.  Benchmarks print the same rows/series the paper reports via
+:func:`print_table`.
+
+Failure isolation: a model that diverges or raises during ``fit`` is turned
+into a structured :class:`~repro.resilience.failures.FailureRecord` (see
+:func:`run_sweep` / :func:`get_failures`), so one bad model cannot abort a
+multi-model comparison.
 """
 
 from __future__ import annotations
@@ -11,6 +18,8 @@ from __future__ import annotations
 import os
 import sys
 import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -20,9 +29,12 @@ from repro.core.doppelganger import DoppelGANger
 from repro.experiments.configs import (BENCH, BenchScale, baseline_kwargs,
                                        make_dataset, make_dg_config)
 from repro.nn import profiler as nn_profiler
+from repro.resilience.failures import FailureRecord
+from repro.resilience.faults import SimulatedKill
 
 __all__ = ["MODEL_NAMES", "get_dataset", "get_model", "get_split",
-           "print_table", "print_series", "clear_cache"]
+           "print_table", "print_series", "clear_cache", "configure_cache",
+           "get_failures", "run_sweep", "SweepResult", "LRUCache"]
 
 # Paper display names, in the order figures list them.
 MODEL_NAMES = {
@@ -33,16 +45,81 @@ MODEL_NAMES = {
     "naive_gan": "Naive GAN",
 }
 
-_DATASETS: dict = {}
-_MODELS: dict = {}
-_SPLITS: dict = {}
+
+class LRUCache:
+    """A small bounded mapping with least-recently-used eviction.
+
+    Reads refresh recency; inserting past ``maxsize`` evicts the coldest
+    entry.  This bounds the harness's memory during long sweeps where
+    hundreds of (dataset, model, overrides) keys would otherwise pile up.
+    """
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, key):
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def keys(self):
+        return list(self._data.keys())
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def set_maxsize(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        while len(self._data) > maxsize:
+            self._data.popitem(last=False)
+
+
+_DATASETS = LRUCache(8)
+_MODELS = LRUCache(16)
+_SPLITS = LRUCache(8)
+_FAILURES: list[FailureRecord] = []
 
 
 def clear_cache() -> None:
-    """Drop all memoised datasets/models (used by tests)."""
+    """Drop all memoised datasets/models and failure records."""
     _DATASETS.clear()
     _MODELS.clear()
     _SPLITS.clear()
+    _FAILURES.clear()
+
+
+def configure_cache(max_datasets: int | None = None,
+                    max_models: int | None = None,
+                    max_splits: int | None = None) -> None:
+    """Re-bound the harness caches (evicting immediately if shrinking)."""
+    if max_datasets is not None:
+        _DATASETS.set_maxsize(max_datasets)
+    if max_models is not None:
+        _MODELS.set_maxsize(max_models)
+    if max_splits is not None:
+        _SPLITS.set_maxsize(max_splits)
+
+
+def get_failures() -> list[FailureRecord]:
+    """Failure records accumulated by :func:`get_model` this process."""
+    return list(_FAILURES)
 
 
 def get_dataset(name: str, scale: BenchScale = BENCH):
@@ -96,20 +173,85 @@ def get_model(dataset_name: str, model_name: str, scale: BenchScale = BENCH,
     model = _build_model(dataset_name, model_name, scale, data.schema,
                          **config_overrides)
     started = time.time()
-    # REPRO_PROFILE=1 prints the op-level hot list of every training run.
-    if os.environ.get("REPRO_PROFILE"):
-        with nn_profiler.profile() as prof:
+    try:
+        # REPRO_PROFILE=1 prints the op-level hot list of every run.
+        if os.environ.get("REPRO_PROFILE"):
+            with nn_profiler.profile() as prof:
+                model.fit(data)
+            print(f"[harness] op profile for {model_name} on "
+                  f"{dataset_name}:\n{prof.summary(top=12)}",
+                  file=sys.stderr)
+        else:
             model.fit(data)
-        print(f"[harness] op profile for {model_name} on {dataset_name}:\n"
-              f"{prof.summary(top=12)}", file=sys.stderr)
-    else:
-        model.fit(data)
+    except SimulatedKill:
+        raise
+    except Exception as exc:
+        record = FailureRecord.from_exception(
+            dataset_name, model_name, exc, model=model,
+            elapsed=time.time() - started)
+        _FAILURES.append(record)
+        print(f"[harness] FAILED {MODEL_NAMES.get(model_name, model_name)} "
+              f"on {dataset_name}: {record.exception_type}: "
+              f"{record.message}", file=sys.stderr)
+        raise
     elapsed = time.time() - started
     print(f"[harness] trained {MODEL_NAMES.get(model_name, model_name)} "
           f"on {dataset_name}{' (' + cache_tag + ')' if cache_tag else ''} "
           f"in {elapsed:.1f}s", file=sys.stderr)
     _MODELS[key] = model
     return model
+
+
+@dataclass
+class SweepResult:
+    """Outcome of :func:`run_sweep`: trained models plus isolated failures."""
+
+    models: dict = field(default_factory=dict)
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    @property
+    def failed_keys(self) -> list[tuple[str, str]]:
+        return [(f.dataset, f.model) for f in self.failures]
+
+
+def run_sweep(dataset_names, model_names, scale: BenchScale = BENCH,
+              isolate: bool = True, verbose: bool = True,
+              **config_overrides) -> SweepResult:
+    """Train every (dataset, model) pair, isolating per-model failures.
+
+    With ``isolate=True`` (the default) a model whose ``fit`` raises is
+    recorded as a :class:`FailureRecord` and the sweep continues with the
+    remaining pairs; the failures are printed as a summary table at the
+    end instead of aborting with a traceback.  ``isolate=False`` restores
+    fail-fast behaviour.
+    """
+    result = SweepResult()
+    for dataset_name in dataset_names:
+        for model_name in model_names:
+            try:
+                result.models[(dataset_name, model_name)] = get_model(
+                    dataset_name, model_name, scale, **config_overrides)
+            except (KeyboardInterrupt, SimulatedKill):
+                raise
+            except Exception as exc:
+                if not isolate:
+                    raise
+                if _FAILURES and _FAILURES[-1].dataset == dataset_name \
+                        and _FAILURES[-1].model == model_name:
+                    record = _FAILURES[-1]
+                else:
+                    # Failure before fit() (dataset build, bad config).
+                    record = FailureRecord.from_exception(
+                        dataset_name, model_name, exc)
+                    _FAILURES.append(record)
+                result.failures.append(record)
+    if verbose and result.failures:
+        print_table(
+            "Sweep failures",
+            ["dataset", "model", "exception", "iteration", "retries",
+             "message"],
+            [f.row() for f in result.failures])
+    return result
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

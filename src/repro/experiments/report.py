@@ -26,8 +26,10 @@ from repro.metrics import (autocorrelation_mse, average_autocorrelation,
                            categorical_jsd, cross_correlation_error,
                            diversity_score, memorization_ratio,
                            wasserstein1)
+from repro.resilience.failures import FailureRecord
 
-__all__ = ["FidelityReport", "fidelity_report", "render_markdown"]
+__all__ = ["FidelityReport", "fidelity_report", "render_markdown",
+           "failure_summary"]
 
 # Thresholds used for the pass/warn verdicts in the rendered report.
 _DIVERSITY_COLLAPSE_RATIO = 0.3
@@ -173,6 +175,32 @@ def render_markdown(report: FidelityReport, title: str = "Fidelity report"
         lines += [f"| {k} | {v:.3f} |"
                   for k, v in report.memorization.items()]
         lines += ["", f"Verdict: {verdict}", ""]
+    return "\n".join(lines)
+
+
+def failure_summary(failures: list[FailureRecord],
+                    title: str = "Sweep failures") -> str:
+    """Render sweep failures as a markdown summary table.
+
+    A multi-model comparison where one model diverged should report that
+    divergence alongside the surviving results -- not die with the failed
+    model's traceback.  Returns an empty string when nothing failed.
+    """
+    if not failures:
+        return ""
+    lines = [f"# {title}", "",
+             f"{len(failures)} of the sweep's models failed to train; the "
+             "remaining models completed normally.", "",
+             "| dataset | model | exception | iteration | retries | "
+             "message |",
+             "|---|---|---|---|---|---|"]
+    for f in failures:
+        iteration = "-" if f.iteration is None else str(f.iteration)
+        message = f.message if len(f.message) <= 60 \
+            else f.message[:57] + "..."
+        lines.append(f"| {f.dataset} | {f.model} | {f.exception_type} | "
+                     f"{iteration} | {f.retries} | {message} |")
+    lines.append("")
     return "\n".join(lines)
 
 

@@ -69,6 +69,34 @@ class Optimizer:
     def step(self, grads: Sequence[Tensor | np.ndarray | None]) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Copy of the optimizer's full state (hyper-params + moments).
+
+        Scalar entries are hyper-parameters; list entries are per-parameter
+        arrays aligned with ``self.params``.  Subclasses extend this.
+        """
+        return {"lr": float(self.lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state written by :meth:`state_dict` (validated)."""
+        self.lr = float(state["lr"])
+
+    def _check_moment_list(self, name: str, arrays) -> list[np.ndarray]:
+        """Validate one per-parameter array list against ``self.params``."""
+        if len(arrays) != len(self.params):
+            raise ValueError(
+                f"optimizer state {name!r} holds {len(arrays)} arrays but "
+                f"the optimizer has {len(self.params)} parameters")
+        out = []
+        for i, (p, a) in enumerate(zip(self.params, arrays)):
+            a = np.asarray(a, dtype=np.float64)
+            if a.shape != p.data.shape:
+                raise ValueError(
+                    f"optimizer state {name}[{i}] has shape {a.shape} but "
+                    f"parameter {p.name or i} has shape {p.data.shape}")
+            out.append(a.copy())
+        return out
+
     @staticmethod
     def _as_array(g) -> np.ndarray | None:
         if g is None:
@@ -85,6 +113,16 @@ class SGD(Optimizer):
         self.lr = lr
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> dict:
+        return {"lr": float(self.lr), "momentum": float(self.momentum),
+                "velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        self._velocity = self._check_moment_list("velocity",
+                                                 state["velocity"])
 
     def step(self, grads) -> None:
         if len(grads) != len(self.params):
@@ -113,6 +151,22 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
+
+    def state_dict(self) -> dict:
+        """Full Adam state: lr, betas, eps, step count, and both moments."""
+        return {"lr": float(self.lr),
+                "betas": (float(self.beta1), float(self.beta2)),
+                "eps": float(self.eps), "t": int(self._t),
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.beta1, self.beta2 = (float(b) for b in state["betas"])
+        self.eps = float(state["eps"])
+        self._t = int(state["t"])
+        self._m = self._check_moment_list("m", state["m"])
+        self._v = self._check_moment_list("v", state["v"])
 
     def step(self, grads) -> None:
         if len(grads) != len(self.params):

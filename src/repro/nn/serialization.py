@@ -1,19 +1,34 @@
-"""Save / load module parameters as ``.npz`` archives.
+"""Save / load module parameters and full training state as ``.npz``.
 
 This implements the "release model parameters" step of the paper's workflow
-(Figure 2): the data holder trains DoppelGANger and ships the parameter file
-to the data consumer, who regenerates synthetic data locally.
+(Figure 2) -- the data holder trains DoppelGANger and ships the parameter
+file to the data consumer, who regenerates synthetic data locally -- plus
+the training-state snapshots behind checkpoint/resume in
+:mod:`repro.resilience`.
+
+Training-state archives hold everything needed to continue a run
+bit-identically: every module parameter, every optimizer moment, the RNG
+bit-generator state, and the iteration counter.  Writes are atomic
+(temp file + ``os.replace``) so a process killed mid-write can never leave
+a truncated checkpoint behind -- the previous checkpoint survives intact.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import zipfile
 
 import numpy as np
 
 from repro.nn.layers import Module
+from repro.nn.optim import Optimizer
 
-__all__ = ["save_module", "load_module"]
+__all__ = ["save_module", "load_module", "save_npz_atomic",
+           "save_training_state", "load_training_state", "TrainingState"]
+
+_STATE_FORMAT = "repro-training-state"
+_STATE_VERSION = 1
 
 
 def save_module(module: Module, path: str | os.PathLike) -> None:
@@ -23,7 +38,178 @@ def save_module(module: Module, path: str | os.PathLike) -> None:
 
 
 def load_module(module: Module, path: str | os.PathLike) -> None:
-    """Load parameters saved by :func:`save_module` into ``module``."""
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    The archive is validated before any parameter is touched: unreadable
+    or truncated files raise a clear :class:`ValueError`, key mismatches
+    raise :class:`KeyError` listing the offending names, and shape
+    mismatches raise :class:`ValueError` naming the parameter (rather
+    than a bare numpy broadcast error deep in the assignment).
+    """
+    try:
+        with np.load(path) as archive:
+            state = {name: archive[name] for name in archive.files}
+    except (OSError, EOFError, ValueError, zipfile.BadZipFile) as exc:
+        raise ValueError(
+            f"cannot read module archive {os.fspath(path)!r}: the file is "
+            f"missing, corrupted, or truncated ({exc})") from exc
+    own = dict(module.named_parameters())
+    missing = sorted(set(own) - set(state))
+    unexpected = sorted(set(state) - set(own))
+    if missing or unexpected:
+        raise KeyError(
+            f"archive {os.fspath(path)!r} does not match the module: "
+            f"missing={missing}, unexpected={unexpected}")
+    for name, value in state.items():
+        if own[name].data.shape != value.shape:
+            raise ValueError(
+                f"shape mismatch for parameter {name!r} in "
+                f"{os.fspath(path)!r}: module expects "
+                f"{own[name].data.shape}, archive holds {value.shape}")
     module.load_state_dict(state)
+
+
+# -- atomic writes -----------------------------------------------------------
+
+def save_npz_atomic(path: str | os.PathLike, arrays: dict) -> None:
+    """Write an ``.npz`` archive atomically (temp file + rename).
+
+    The archive is first written to ``<path>.tmp`` in the same directory,
+    flushed and fsynced, then moved over ``path`` with :func:`os.replace`.
+    A crash at any point leaves either the old file or the new file --
+    never a truncated mix.  The ``serialization.pre_rename`` fault site
+    (see :mod:`repro.resilience.faults`) fires between write and rename so
+    tests can prove that property.
+    """
+    path = os.fspath(path)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        np.savez(handle, **arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
+    # Imported lazily: repro.resilience.checkpoint imports this module.
+    from repro.resilience import faults
+    faults.fire("serialization.pre_rename")
+    os.replace(tmp, path)
+
+
+# -- full training state -----------------------------------------------------
+
+class TrainingState:
+    """Decoded contents of a training-state archive."""
+
+    def __init__(self, iteration: int, rng_state: dict,
+                 module_states: dict, optimizer_states: dict,
+                 extra_arrays: dict, extra_meta: dict):
+        self.iteration = iteration
+        self.rng_state = rng_state
+        self.module_states = module_states
+        self.optimizer_states = optimizer_states
+        self.extra_arrays = extra_arrays
+        self.extra_meta = extra_meta
+
+
+def save_training_state(path: str | os.PathLike, *,
+                        modules: dict[str, Module],
+                        optimizers: dict[str, Optimizer],
+                        rng: np.random.Generator,
+                        iteration: int,
+                        extra_arrays: dict | None = None,
+                        extra_meta: dict | None = None) -> None:
+    """Atomically snapshot a full training run to ``path``.
+
+    Args:
+        modules: Named modules whose parameters to save.
+        optimizers: Named optimizers whose moments/hyper-state to save.
+        rng: The training RNG; its bit-generator state is captured so a
+            resumed run draws the identical noise sequence.
+        iteration: Completed-iteration counter to resume from.
+        extra_arrays: Additional named float arrays (e.g. loss traces).
+        extra_meta: Additional JSON-serializable metadata.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    optim_meta: dict[str, dict] = {}
+    for name, module in modules.items():
+        for pname, value in module.state_dict().items():
+            arrays[f"module::{name}::{pname}"] = value
+    for name, optimizer in optimizers.items():
+        scalars = {}
+        for key, value in optimizer.state_dict().items():
+            if isinstance(value, list):
+                for i, arr in enumerate(value):
+                    arrays[f"optim::{name}::{key}::{i}"] = arr
+            else:
+                scalars[key] = value
+        optim_meta[name] = scalars
+    for key, value in (extra_arrays or {}).items():
+        arrays[f"extra::{key}"] = np.asarray(value)
+    meta = {
+        "format": _STATE_FORMAT,
+        "version": _STATE_VERSION,
+        "iteration": int(iteration),
+        "rng_state": rng.bit_generator.state,
+        "optimizers": optim_meta,
+        "extra": extra_meta or {},
+    }
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    save_npz_atomic(path, arrays)
+
+
+def load_training_state(path: str | os.PathLike) -> TrainingState:
+    """Read a training-state archive written by :func:`save_training_state`.
+
+    Raises a clear :class:`ValueError` for missing, truncated, corrupted,
+    or wrong-format files.
+    """
+    path = os.fspath(path)
+    try:
+        with np.load(path) as archive:
+            raw = {name: archive[name] for name in archive.files}
+    except (OSError, EOFError, ValueError, KeyError,
+            zipfile.BadZipFile) as exc:
+        raise ValueError(
+            f"cannot read training state {path!r}: the file is missing, "
+            f"corrupted, or truncated ({exc})") from exc
+    if "__meta__" not in raw:
+        raise ValueError(f"{path!r} is not a training-state archive "
+                         f"(no __meta__ entry)")
+    try:
+        meta = json.loads(bytes(raw.pop("__meta__").tobytes()).decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(
+            f"training state {path!r} has a corrupted metadata block "
+            f"({exc})") from exc
+    if meta.get("format") != _STATE_FORMAT:
+        raise ValueError(f"{path!r} is not a training-state archive "
+                         f"(format={meta.get('format')!r})")
+
+    module_states: dict[str, dict] = {}
+    optim_arrays: dict[str, dict[str, dict[int, np.ndarray]]] = {}
+    extra_arrays: dict[str, np.ndarray] = {}
+    for name, value in raw.items():
+        kind, _, rest = name.partition("::")
+        if kind == "module":
+            mod, _, pname = rest.partition("::")
+            module_states.setdefault(mod, {})[pname] = value
+        elif kind == "optim":
+            opt, _, tail = rest.partition("::")
+            key, _, index = tail.partition("::")
+            optim_arrays.setdefault(opt, {}).setdefault(
+                key, {})[int(index)] = value
+        elif kind == "extra":
+            extra_arrays[rest] = value
+
+    optimizer_states: dict[str, dict] = {}
+    for opt, scalars in meta.get("optimizers", {}).items():
+        state = dict(scalars)
+        for key, indexed in optim_arrays.get(opt, {}).items():
+            state[key] = [indexed[i] for i in sorted(indexed)]
+        optimizer_states[opt] = state
+
+    return TrainingState(iteration=int(meta["iteration"]),
+                         rng_state=meta["rng_state"],
+                         module_states=module_states,
+                         optimizer_states=optimizer_states,
+                         extra_arrays=extra_arrays,
+                         extra_meta=meta.get("extra", {}))

@@ -1,0 +1,152 @@
+"""Checkpoint/resume and in-memory rollback snapshots for ``DGTrainer``.
+
+Two flavours of the same capture:
+
+- **Disk checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`)
+  go through :func:`repro.nn.serialization.save_training_state`, so a run
+  killed at any point -- including mid-write -- resumes from its last
+  complete checkpoint with a bit-identical loss trace.
+- **In-memory snapshots** (:func:`snapshot_trainer` /
+  :func:`restore_trainer`) back the divergence sentinel's rollback: cheap
+  enough to refresh every few iterations, no filesystem involved.
+
+Both capture every module parameter, both Adam states (moments + step
+count), the RNG bit-generator state, the iteration counter, and the loss
+history -- the complete closure of the training loop.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.nn.serialization import load_training_state, save_training_state
+
+__all__ = ["trainer_modules", "trainer_optimizers", "snapshot_trainer",
+           "restore_trainer", "save_checkpoint", "load_checkpoint",
+           "trainer_params_finite"]
+
+_TRACE_FIELDS = ("iterations", "d_loss", "g_loss", "wasserstein")
+_COUNTER_FIELDS = ("nan_events", "runaway_events", "step_faults",
+                   "rollbacks", "lr_decays", "resumes")
+
+
+def trainer_modules(trainer) -> dict:
+    """Named modules owned by a :class:`~repro.core.trainer.DGTrainer`."""
+    modules = {
+        "attribute_generator": trainer.attribute_generator,
+        "minmax_generator": trainer.minmax_generator,
+        "feature_generator": trainer.feature_generator,
+        "discriminator": trainer.discriminator,
+    }
+    if trainer.aux_discriminator is not None:
+        modules["aux_discriminator"] = trainer.aux_discriminator
+    return modules
+
+
+def trainer_optimizers(trainer) -> dict:
+    """Named optimizers owned by a trainer."""
+    return {"g": trainer.g_optimizer, "d": trainer.d_optimizer}
+
+
+def trainer_params_finite(trainer) -> bool:
+    """True when every generator/discriminator parameter is finite.
+
+    Used to refuse to snapshot a silently poisoned state (NaN weights
+    whose loss has not blown up *yet*) -- rolling back to such a snapshot
+    would loop forever.
+    """
+    for p in trainer.generator_params + trainer.discriminator_params:
+        if not np.all(np.isfinite(p.data)):
+            return False
+    return True
+
+
+# -- in-memory snapshots (sentinel rollback) --------------------------------
+
+def snapshot_trainer(trainer, iteration: int, history) -> dict:
+    """Deep-copy the full training state into a plain dict."""
+    return {
+        "iteration": int(iteration),
+        "modules": {name: module.state_dict()
+                    for name, module in trainer_modules(trainer).items()},
+        "optimizers": {name: opt.state_dict()
+                       for name, opt in trainer_optimizers(trainer).items()},
+        "rng_state": copy.deepcopy(trainer.rng.bit_generator.state),
+        "traces": {f: list(getattr(history, f)) for f in _TRACE_FIELDS},
+    }
+
+
+def restore_trainer(trainer, snapshot: dict, history) -> int:
+    """Restore a snapshot in place; returns its iteration counter.
+
+    History *traces* are truncated back to the snapshot point, but the
+    instability counters (rollbacks, nan_events, ...) are left untouched:
+    they describe the whole run, including the failures being rolled back.
+    """
+    for name, module in trainer_modules(trainer).items():
+        module.load_state_dict(snapshot["modules"][name])
+    for name, opt in trainer_optimizers(trainer).items():
+        opt.load_state_dict(snapshot["optimizers"][name])
+    trainer.rng.bit_generator.state = copy.deepcopy(snapshot["rng_state"])
+    for field in _TRACE_FIELDS:
+        getattr(history, field)[:] = snapshot["traces"][field]
+    return snapshot["iteration"]
+
+
+# -- disk checkpoints (kill/resume) -----------------------------------------
+
+def save_checkpoint(trainer, path, iteration: int, history) -> None:
+    """Atomically write a resumable checkpoint of ``trainer`` to ``path``."""
+    extra_arrays = {
+        "history_iterations": np.asarray(history.iterations,
+                                         dtype=np.int64),
+        "history_d_loss": np.asarray(history.d_loss, dtype=np.float64),
+        "history_g_loss": np.asarray(history.g_loss, dtype=np.float64),
+        "history_wasserstein": np.asarray(history.wasserstein,
+                                          dtype=np.float64),
+    }
+    extra_meta = {"counters": {f: int(getattr(history, f))
+                               for f in _COUNTER_FIELDS}}
+    save_training_state(path, modules=trainer_modules(trainer),
+                        optimizers=trainer_optimizers(trainer),
+                        rng=trainer.rng, iteration=iteration,
+                        extra_arrays=extra_arrays, extra_meta=extra_meta)
+
+
+def load_checkpoint(trainer, path, history) -> int:
+    """Restore ``trainer`` and ``history`` from ``path``.
+
+    Returns the iteration to resume from (the number of completed
+    iterations at save time).  Raises :class:`ValueError` on corrupted
+    files or on checkpoints whose shapes do not match the trainer.
+    """
+    state = load_training_state(path)
+    modules = trainer_modules(trainer)
+    missing = sorted(set(modules) - set(state.module_states))
+    unexpected = sorted(set(state.module_states) - set(modules))
+    if missing or unexpected:
+        raise ValueError(
+            f"checkpoint {path!r} does not match this trainer: missing "
+            f"modules {missing}, unexpected modules {unexpected}")
+    for name, module in modules.items():
+        module.load_state_dict(state.module_states[name])
+    for name, opt in trainer_optimizers(trainer).items():
+        if name not in state.optimizer_states:
+            raise ValueError(f"checkpoint {path!r} has no state for "
+                             f"optimizer {name!r}")
+        opt.load_state_dict(state.optimizer_states[name])
+    trainer.rng.bit_generator.state = state.rng_state
+    history.iterations[:] = [int(v) for v in
+                             state.extra_arrays["history_iterations"]]
+    history.d_loss[:] = [float(v) for v in
+                         state.extra_arrays["history_d_loss"]]
+    history.g_loss[:] = [float(v) for v in
+                         state.extra_arrays["history_g_loss"]]
+    history.wasserstein[:] = [float(v) for v in
+                              state.extra_arrays["history_wasserstein"]]
+    for field, value in state.extra_meta.get("counters", {}).items():
+        if field in _COUNTER_FIELDS:
+            setattr(history, field, int(value))
+    return state.iteration

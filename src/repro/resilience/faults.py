@@ -1,0 +1,160 @@
+"""Deterministic fault injection for resilience testing.
+
+Long unattended GAN training fails in ways that are hard to reproduce on
+demand: a NaN loss at iteration 31 417, a process kill between a checkpoint
+write and its rename, an exception in the middle of a critic step.  This
+module gives tests a way to *schedule* those failures deterministically so
+every recovery path in :mod:`repro.resilience` is provable, not aspirational.
+
+Hook points ("sites") are compiled into the production code paths and are
+free when no fault is armed (a single empty-list check).  Current sites:
+
+- ``trainer.step`` -- fired at the top of each training iteration.
+- ``trainer.critic_loss`` -- fired with the critic loss value after the
+  discriminator update(s); ``nan``/``inf`` actions poison the value.
+- ``trainer.generator_loss`` -- same, for the generator loss.
+- ``serialization.pre_rename`` -- fired between the temp-file write and the
+  atomic rename of a checkpoint; a ``kill`` action here simulates a process
+  dying at the worst possible moment.
+
+Usage::
+
+    from repro.resilience import faults
+
+    with faults.injected(faults.nan_at("trainer.critic_loss", step=4)):
+        model.fit(data, sentinel=True)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Fault", "FaultInjected", "SimulatedKill", "install", "clear",
+           "injected", "fire", "active", "nan_at", "inf_at", "raise_at",
+           "kill_at"]
+
+_ACTIONS = ("nan", "inf", "raise", "kill")
+
+
+class FaultInjected(RuntimeError):
+    """Raised by a ``raise`` action; recoverable by the sentinel."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.reason = "fault"
+
+
+class SimulatedKill(BaseException):
+    """Raised by a ``kill`` action.
+
+    Derives from :class:`BaseException` (like ``SystemExit``) so ordinary
+    ``except Exception`` recovery code cannot accidentally swallow it --
+    a real ``SIGKILL`` is not catchable either.
+    """
+
+
+@dataclass
+class Fault:
+    """One scheduled failure.
+
+    Args:
+        site: Hook-point name (see module docstring).
+        action: One of ``nan``/``inf`` (poison the value passed to
+            :func:`fire`), ``raise`` (:class:`FaultInjected`), or ``kill``
+            (:class:`SimulatedKill`).
+        step: Only fire when :func:`fire` is called with this step index
+            (``None`` = fire at the first opportunity).
+        times: How many times to fire before disarming (one-shot by
+            default, so a retry after rollback succeeds).
+    """
+
+    site: str
+    action: str
+    step: int | None = None
+    times: int = 1
+    fired: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}, "
+                             f"got {self.action!r}")
+
+
+_ACTIVE: list[Fault] = []
+
+
+def install(*faults: Fault) -> None:
+    """Arm one or more faults (in addition to any already armed)."""
+    _ACTIVE.extend(faults)
+
+
+def clear() -> None:
+    """Disarm all faults."""
+    _ACTIVE.clear()
+
+
+def active() -> list[Fault]:
+    """The currently armed faults (live list of dataclasses)."""
+    return list(_ACTIVE)
+
+
+@contextmanager
+def injected(*faults: Fault):
+    """Context manager: arm ``faults`` for the block, disarm after."""
+    install(*faults)
+    try:
+        yield list(faults)
+    finally:
+        for f in faults:
+            try:
+                _ACTIVE.remove(f)
+            except ValueError:
+                pass
+
+
+def fire(site: str, step: int | None = None, value=None):
+    """Called at hook points; returns ``value``, possibly poisoned.
+
+    A ``raise`` fault raises :class:`FaultInjected`; a ``kill`` fault
+    raises :class:`SimulatedKill`.  Fast no-op when nothing is armed.
+    """
+    if not _ACTIVE:
+        return value
+    for fault in _ACTIVE:
+        if fault.site != site or fault.fired >= fault.times:
+            continue
+        if fault.step is not None and step is not None \
+                and step != fault.step:
+            continue
+        fault.fired += 1
+        if fault.action == "nan":
+            return float("nan")
+        if fault.action == "inf":
+            return float("inf")
+        if fault.action == "raise":
+            raise FaultInjected(
+                f"injected fault at {site} (step={step})")
+        raise SimulatedKill(f"simulated process kill at {site} "
+                            f"(step={step})")
+    return value
+
+
+def nan_at(site: str, step: int | None = None, times: int = 1) -> Fault:
+    """A fault that replaces the value at ``site`` with NaN."""
+    return Fault(site=site, action="nan", step=step, times=times)
+
+
+def inf_at(site: str, step: int | None = None, times: int = 1) -> Fault:
+    """A fault that replaces the value at ``site`` with +Inf."""
+    return Fault(site=site, action="inf", step=step, times=times)
+
+
+def raise_at(site: str, step: int | None = None, times: int = 1) -> Fault:
+    """A fault that raises :class:`FaultInjected` at ``site``."""
+    return Fault(site=site, action="raise", step=step, times=times)
+
+
+def kill_at(site: str, step: int | None = None, times: int = 1) -> Fault:
+    """A fault that raises :class:`SimulatedKill` at ``site``."""
+    return Fault(site=site, action="kill", step=step, times=times)

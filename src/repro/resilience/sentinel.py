@@ -1,0 +1,116 @@
+"""Divergence sentinel: detect NaN/Inf/runaway losses and direct recovery.
+
+WGAN-GP training can diverge without warning (the paper's §5.1 discussion of
+mode collapse and training instability); on a long unattended run a single
+non-finite loss silently poisons every subsequent update.  The sentinel
+checks each step's losses and Wasserstein estimate, and when something is
+wrong raises :class:`DivergenceDetected`, which the trainer turns into a
+rollback to the last good snapshot plus a bounded retry governed by
+:class:`SentinelPolicy`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SentinelPolicy", "DivergenceSentinel", "DivergenceDetected",
+           "TrainingDiverged"]
+
+
+class DivergenceDetected(RuntimeError):
+    """One bad step; recoverable via rollback (internal control flow)."""
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason  # "nan" | "runaway"
+
+
+class TrainingDiverged(RuntimeError):
+    """Raised when the retry budget is exhausted; the run is unrecoverable.
+
+    Carries the last recorded iteration and the rollback count so harness
+    code can build a :class:`repro.resilience.failures.FailureRecord`.
+    """
+
+    def __init__(self, message: str, iteration: int, rollbacks: int):
+        super().__init__(message)
+        self.iteration = iteration
+        self.rollbacks = rollbacks
+
+
+@dataclass
+class SentinelPolicy:
+    """How to detect and react to a diverging run.
+
+    Args:
+        max_retries: Rollback/retry budget per snapshot window.  Retries
+            reset every time a new good snapshot is taken, so the budget
+            bounds *consecutive* failures, not failures per run.
+        lr_decay: Multiplier applied to both optimizers' learning rates on
+            each rollback (compounding across consecutive retries); 1.0
+            disables the decay.
+        reseed: Draw a fresh, deterministically derived noise seed on each
+            rollback so the retry takes a different sample path.
+        snapshot_every: Iterations between in-memory last-good snapshots.
+        loss_limit: Absolute loss value considered runaway.
+        wasserstein_limit: Absolute Wasserstein estimate considered runaway.
+    """
+
+    max_retries: int = 3
+    lr_decay: float = 0.5
+    reseed: bool = True
+    snapshot_every: int = 10
+    loss_limit: float = 1e8
+    wasserstein_limit: float = 1e6
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0 < self.lr_decay <= 1:
+            raise ValueError("lr_decay must be in (0, 1]")
+        if self.snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+
+
+class DivergenceSentinel:
+    """Per-step guard; raises :class:`DivergenceDetected` on a bad step."""
+
+    def __init__(self, policy: SentinelPolicy | None = None):
+        self.policy = policy or SentinelPolicy()
+
+    @classmethod
+    def coerce(cls, value) -> "DivergenceSentinel | None":
+        """Accept ``None`` / ``True`` / policy / sentinel interchangeably."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, SentinelPolicy):
+            return cls(value)
+        if isinstance(value, cls):
+            return value
+        raise TypeError(
+            f"sentinel must be a bool, SentinelPolicy, or "
+            f"DivergenceSentinel, got {type(value).__name__}")
+
+    def check(self, iteration: int, d_loss: float, g_loss: float,
+              wasserstein: float) -> None:
+        """Validate one step's scalars; raise on NaN/Inf or runaway."""
+        for name, value in (("d_loss", d_loss), ("g_loss", g_loss),
+                            ("wasserstein", wasserstein)):
+            if not math.isfinite(value):
+                raise DivergenceDetected(
+                    "nan", f"non-finite {name}={value!r} at iteration "
+                           f"{iteration}")
+        if abs(d_loss) > self.policy.loss_limit \
+                or abs(g_loss) > self.policy.loss_limit:
+            raise DivergenceDetected(
+                "runaway", f"loss exceeded {self.policy.loss_limit:g} at "
+                           f"iteration {iteration} (d={d_loss:g}, "
+                           f"g={g_loss:g})")
+        if abs(wasserstein) > self.policy.wasserstein_limit:
+            raise DivergenceDetected(
+                "runaway", f"Wasserstein estimate {wasserstein:g} exceeded "
+                           f"{self.policy.wasserstein_limit:g} at iteration "
+                           f"{iteration}")

@@ -53,3 +53,15 @@ def test_dp_config_defaults():
     dp = DPTrainingConfig()
     assert dp.l2_norm_clip > 0
     assert dp.microbatch_size == 1
+
+
+class TestResilienceValidation:
+    def test_non_positive_iterations_rejected(self):
+        with pytest.raises(ValueError, match="iterations"):
+            DGConfig(iterations=0)
+        with pytest.raises(ValueError, match="iterations"):
+            DGConfig(iterations=-5)
+
+    def test_non_positive_discriminator_steps_rejected(self):
+        with pytest.raises(ValueError, match="discriminator_steps"):
+            DGConfig(discriminator_steps=0)

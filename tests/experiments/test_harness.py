@@ -84,3 +84,103 @@ class TestGetSplit:
                           train_data=split.train_real)
         # The HMM's attribute sampler stores its training rows verbatim.
         assert len(model.attribute_sampler._rows) == len(split.train_real)
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        from repro.experiments.harness import LRUCache
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        _ = cache["a"]          # refresh "a"; "b" is now coldest
+        cache["c"] = 3
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_set_maxsize_evicts(self):
+        from repro.experiments.harness import LRUCache
+        cache = LRUCache(4)
+        for i in range(4):
+            cache[i] = i
+        cache.set_maxsize(2)
+        assert len(cache) == 2 and 3 in cache and 0 not in cache
+
+    def test_invalid_maxsize(self):
+        from repro.experiments.harness import LRUCache
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_model_cache_bounded(self):
+        """Long sweeps cannot grow the model cache without limit."""
+        from repro.experiments import configure_cache, get_model
+        from repro.experiments.harness import _MODELS
+        configure_cache(max_models=2)
+        try:
+            get_model("gcut", "hmm", TINY)
+            get_model("gcut", "ar", TINY)
+            get_model("gcut", "naive_gan", TINY)
+            assert len(_MODELS) == 2
+            # Oldest (hmm) evicted: a re-request retrains a new object.
+            survivors = {key[1] for key in _MODELS.keys()}
+            assert survivors == {"ar", "naive_gan"}
+        finally:
+            configure_cache(max_models=16)
+
+
+class TestSweepIsolation:
+    def test_one_failing_model_does_not_abort_sweep(self, monkeypatch,
+                                                    capsys):
+        """Acceptance criterion: a sweep where one model raises finishes
+        the remaining models and reports the failure in a summary table."""
+        from unittest import mock
+        from repro.baselines import HMMBaseline
+        from repro.experiments import get_failures, run_sweep
+
+        monkeypatch.setattr(HMMBaseline, "fit",
+                            mock.Mock(side_effect=RuntimeError("boom")))
+        result = run_sweep(["gcut"], ["hmm", "ar", "naive_gan"], TINY)
+        assert set(result.models) == {("gcut", "ar"),
+                                      ("gcut", "naive_gan")}
+        assert result.failed_keys == [("gcut", "hmm")]
+        record = result.failures[0]
+        assert record.exception_type == "RuntimeError"
+        assert record.message == "boom"
+        assert get_failures()[-1] is record
+        out = capsys.readouterr().out
+        assert "Sweep failures" in out and "RuntimeError" in out
+
+    def test_isolate_false_restores_fail_fast(self, monkeypatch):
+        from unittest import mock
+        from repro.baselines import HMMBaseline
+        from repro.experiments import run_sweep
+
+        monkeypatch.setattr(HMMBaseline, "fit",
+                            mock.Mock(side_effect=RuntimeError("boom")))
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sweep(["gcut"], ["hmm"], TINY, isolate=False)
+
+    def test_training_diverged_carries_iteration_and_retries(self,
+                                                             monkeypatch):
+        """A diverging DoppelGANger surfaces its partial history in the
+        failure record."""
+        from repro.experiments import run_sweep
+        from repro.resilience import faults
+
+        monkeypatch.setattr(
+            "repro.core.doppelganger.DoppelGANger.fit",
+            lambda self, data, **kw: (_ for _ in ()).throw(
+                RuntimeError("synthetic divergence")))
+        result = run_sweep(["gcut"], ["dg"], TINY)
+        assert result.failures[0].model == "dg"
+        assert result.failures[0].exception_type == "RuntimeError"
+
+    def test_clear_cache_drops_failures(self, monkeypatch):
+        from unittest import mock
+        from repro.baselines import HMMBaseline
+        from repro.experiments import clear_cache, get_failures, run_sweep
+
+        monkeypatch.setattr(HMMBaseline, "fit",
+                            mock.Mock(side_effect=RuntimeError("boom")))
+        run_sweep(["gcut"], ["hmm"], TINY)
+        assert get_failures()
+        clear_cache()
+        assert get_failures() == []

@@ -78,3 +78,27 @@ class TestCrossCorrelationSection:
     def test_absent_for_single_feature(self, tiny_wwt):
         report = fidelity_report(tiny_wwt, tiny_wwt)
         assert report.cross_correlation is None
+
+
+class TestFailureSummary:
+    def test_renders_failures_as_table(self):
+        from repro.experiments.report import failure_summary
+        from repro.resilience import FailureRecord
+        failures = [FailureRecord(dataset="wwt", model="dg",
+                                  exception_type="TrainingDiverged",
+                                  message="retry budget exhausted",
+                                  iteration=123, retries=3)]
+        text = failure_summary(failures)
+        assert "| wwt | dg | TrainingDiverged | 123 | 3 |" in text
+        assert "1 of the sweep's models failed" in text
+
+    def test_empty_failures_render_empty(self):
+        from repro.experiments.report import failure_summary
+        assert failure_summary([]) == ""
+
+    def test_long_messages_truncated(self):
+        from repro.experiments.report import failure_summary
+        from repro.resilience import FailureRecord
+        record = FailureRecord(dataset="d", model="m",
+                               exception_type="E", message="x" * 200)
+        assert "x" * 200 not in failure_summary([record])

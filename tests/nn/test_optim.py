@@ -139,3 +139,58 @@ class TestStepLR:
             StepLR(opt, step_size=0)
         with pytest.raises(ValueError):
             StepLR(opt, step_size=1, gamma=0.0)
+
+
+class TestOptimizerStateDict:
+    def test_adam_round_trip_preserves_moments(self):
+        target = np.array([1.0, -2.0])
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.05)
+        for _ in range(10):
+            opt.step(grad(quadratic_loss(p, target), [p]))
+        state = opt.state_dict()
+        assert state["t"] == 10
+
+        q = Parameter(p.data.copy())
+        fresh = Adam([q], lr=0.9)  # wrong hyper-params on purpose
+        fresh.load_state_dict(state)
+        assert fresh.lr == opt.lr and fresh._t == opt._t
+        for a, b in zip(fresh._m, opt._m):
+            assert np.array_equal(a, b)
+        # Identical next step from identical state.
+        opt.step(grad(quadratic_loss(p, target), [p]))
+        fresh.step(grad(quadratic_loss(q, target), [q]))
+        assert np.array_equal(p.data, q.data)
+
+    def test_state_dict_is_a_copy(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.05)
+        opt.step([np.ones(2)])
+        state = opt.state_dict()
+        state["m"][0][:] = 99.0
+        assert not np.array_equal(opt._m[0], state["m"][0])
+
+    def test_sgd_round_trip_preserves_velocity(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        opt.step([np.array([1.0, -1.0])])
+        state = opt.state_dict()
+        q = Parameter(np.zeros(2))
+        fresh = SGD([q], lr=0.5)
+        fresh.load_state_dict(state)
+        assert fresh.momentum == 0.9
+        assert np.array_equal(fresh._velocity[0], opt._velocity[0])
+
+    def test_moment_count_mismatch_rejected(self):
+        opt = Adam([Parameter(np.zeros(2))], lr=0.1)
+        state = opt.state_dict()
+        state["m"] = state["m"] + [np.zeros(2)]
+        with pytest.raises(ValueError, match="2 arrays"):
+            opt.load_state_dict(state)
+
+    def test_moment_shape_mismatch_rejected(self):
+        opt = Adam([Parameter(np.zeros(2))], lr=0.1)
+        state = opt.state_dict()
+        state["v"] = [np.zeros(3)]
+        with pytest.raises(ValueError, match="shape"):
+            opt.load_state_dict(state)

@@ -23,3 +23,90 @@ def test_load_into_wrong_architecture_raises(tmp_path):
     save_module(a, path)
     with pytest.raises(KeyError):
         load_module(b, path)
+
+
+class TestLoadModuleHardening:
+    def test_corrupted_archive_raises_clear_value_error(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        path.write_bytes(b"garbage, not a zip archive")
+        module = MLP(3, [5], 2, rng=np.random.default_rng(1))
+        with pytest.raises(ValueError, match="corrupted"):
+            load_module(module, path)
+
+    def test_missing_file_raises_value_error(self, tmp_path):
+        module = MLP(3, [5], 2, rng=np.random.default_rng(1))
+        with pytest.raises(ValueError, match="missing"):
+            load_module(module, tmp_path / "absent.npz")
+
+    def test_shape_mismatch_names_parameter(self, tmp_path):
+        a = MLP(3, [5], 2, rng=np.random.default_rng(1))
+        b = MLP(3, [7], 2, rng=np.random.default_rng(2))
+        # Same parameter names, different hidden width.
+        path = tmp_path / "weights.npz"
+        save_module(a, path)
+        with pytest.raises(ValueError, match="layers.0.weight"):
+            load_module(b, path)
+
+    def test_key_mismatch_lists_names(self, tmp_path):
+        a = MLP(3, [5], 2, rng=np.random.default_rng(1))
+        b = MLP(3, [5, 5], 2, rng=np.random.default_rng(2))
+        path = tmp_path / "weights.npz"
+        save_module(a, path)
+        with pytest.raises(KeyError, match="layers.2"):
+            load_module(b, path)
+
+
+class TestAtomicWrites:
+    def test_save_npz_atomic_round_trip(self, tmp_path):
+        from repro.nn.serialization import save_npz_atomic
+        path = tmp_path / "arrays.npz"
+        save_npz_atomic(path, {"x": np.arange(4.0)})
+        with np.load(path) as archive:
+            assert np.array_equal(archive["x"], np.arange(4.0))
+        assert not (tmp_path / "arrays.npz.tmp").exists()
+
+    def test_overwrite_is_atomic(self, tmp_path):
+        from repro.nn.serialization import save_npz_atomic
+        path = tmp_path / "arrays.npz"
+        save_npz_atomic(path, {"x": np.zeros(2)})
+        save_npz_atomic(path, {"x": np.ones(2)})
+        with np.load(path) as archive:
+            assert np.array_equal(archive["x"], np.ones(2))
+
+
+class TestTrainingStateArchive:
+    def _roundtrip(self, tmp_path):
+        from repro.nn import Adam
+        from repro.nn.serialization import (load_training_state,
+                                            save_training_state)
+        module = MLP(3, [5], 2, rng=np.random.default_rng(1))
+        opt = Adam(module.parameters(), lr=0.01)
+        opt.step([np.ones_like(p.data) for p in module.parameters()])
+        rng = np.random.default_rng(7)
+        rng.normal(size=10)  # advance the stream
+        path = tmp_path / "state.npz"
+        save_training_state(path, modules={"net": module},
+                            optimizers={"opt": opt}, rng=rng,
+                            iteration=17,
+                            extra_arrays={"trace": np.array([1.5, 2.5])},
+                            extra_meta={"note": "hello"})
+        return module, opt, rng, load_training_state(path)
+
+    def test_full_round_trip(self, tmp_path):
+        module, opt, rng, state = self._roundtrip(tmp_path)
+        assert state.iteration == 17
+        assert state.extra_meta == {"note": "hello"}
+        assert np.array_equal(state.extra_arrays["trace"],
+                              [1.5, 2.5])
+        for name, value in module.state_dict().items():
+            assert np.array_equal(state.module_states["net"][name], value)
+        restored = state.optimizer_states["opt"]
+        assert restored["t"] == 1
+        for a, b in zip(restored["m"], opt._m):
+            assert np.array_equal(a, b)
+
+    def test_rng_state_resumes_identical_stream(self, tmp_path):
+        _, _, rng, state = self._roundtrip(tmp_path)
+        fresh = np.random.default_rng(0)
+        fresh.bit_generator.state = state.rng_state
+        assert np.array_equal(fresh.normal(size=5), rng.normal(size=5))

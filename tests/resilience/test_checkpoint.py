@@ -1,0 +1,150 @@
+"""Checkpoint/resume tests: bit-identical continuation and atomicity."""
+
+import numpy as np
+import pytest
+
+from repro.core import DoppelGANger
+from repro.nn.serialization import load_training_state
+from repro.resilience import faults
+from repro.resilience.checkpoint import load_checkpoint, save_checkpoint
+from tests.conftest import tiny_dg_config
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _fresh(tiny_gcut, **overrides):
+    return DoppelGANger(tiny_gcut.schema,
+                        tiny_dg_config(iterations=12, **overrides))
+
+
+class TestResume:
+    def test_resume_is_bit_identical(self, tiny_gcut, tmp_path):
+        """A run stopped at iteration 7 and resumed must reproduce the
+        uninterrupted run's loss trace exactly (not approximately)."""
+        baseline = _fresh(tiny_gcut).fit(tiny_gcut, log_every=1)
+
+        ck = tmp_path / "state.npz"
+        _fresh(tiny_gcut).fit(tiny_gcut, log_every=1, iterations=7,
+                              train_state_path=ck, checkpoint_every=5)
+        resumed = _fresh(tiny_gcut).fit(tiny_gcut, log_every=1,
+                                        resume_from=ck)
+
+        assert resumed.iterations == baseline.iterations
+        assert resumed.d_loss == baseline.d_loss          # exact equality
+        assert resumed.g_loss == baseline.g_loss
+        assert resumed.wasserstein == baseline.wasserstein
+        assert resumed.resumes == 1
+
+    def test_resume_preserves_adam_and_rng(self, tiny_gcut, tmp_path):
+        """Adam moments and RNG state round-trip: the next-step losses of
+        a reloaded trainer equal the original's."""
+        ck = tmp_path / "state.npz"
+        model = _fresh(tiny_gcut)
+        model.fit(tiny_gcut, log_every=1, iterations=6,
+                  train_state_path=ck, checkpoint_every=3)
+        trainer = model.trainer
+        adam = trainer.g_optimizer
+        t_before = adam._t
+        m_before = [m.copy() for m in adam._m]
+
+        other = _fresh(tiny_gcut)
+        resumed = other.fit(tiny_gcut, log_every=1, iterations=6,
+                            resume_from=ck)
+        assert other.trainer.g_optimizer._t == t_before
+        for a, b in zip(other.trainer.g_optimizer._m, m_before):
+            assert np.array_equal(a, b)
+        # Both trainers now sit in the same state: the next step matches.
+        encoded = model.encoder.transform(tiny_gcut)
+        assert trainer.discriminator_step(encoded) == \
+            other.trainer.discriminator_step(encoded)
+        assert resumed.iterations[-1] == 5
+
+    def test_resume_past_end_is_noop(self, tiny_gcut, tmp_path):
+        ck = tmp_path / "state.npz"
+        _fresh(tiny_gcut).fit(tiny_gcut, log_every=1, iterations=6,
+                              train_state_path=ck, checkpoint_every=3)
+        resumed = _fresh(tiny_gcut).fit(tiny_gcut, log_every=1,
+                                        iterations=6, resume_from=ck)
+        assert resumed.iterations[-1] == 5
+
+
+class TestCorruption:
+    def test_corrupted_checkpoint_raises_value_error(self, tiny_gcut,
+                                                     tmp_path):
+        ck = tmp_path / "state.npz"
+        ck.write_bytes(b"this is not an npz archive")
+        with pytest.raises(ValueError, match="corrupt"):
+            _fresh(tiny_gcut).fit(tiny_gcut, resume_from=ck)
+
+    def test_truncated_checkpoint_raises_value_error(self, tiny_gcut,
+                                                     tmp_path):
+        ck = tmp_path / "state.npz"
+        _fresh(tiny_gcut).fit(tiny_gcut, log_every=1, iterations=4,
+                              train_state_path=ck, checkpoint_every=2)
+        blob = ck.read_bytes()
+        ck.write_bytes(blob[:len(blob) // 2])
+        with pytest.raises(ValueError, match="corrupt"):
+            _fresh(tiny_gcut).fit(tiny_gcut, resume_from=ck)
+
+    def test_wrong_format_npz_rejected(self, tiny_gcut, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="training-state"):
+            load_training_state(path)
+
+
+class TestAtomicity:
+    def test_kill_between_write_and_rename_keeps_old_checkpoint(
+            self, tiny_gcut, tmp_path):
+        """A process dying mid-checkpoint must not destroy the previous
+        checkpoint: the write goes to a temp file and the rename is the
+        commit point."""
+        ck = tmp_path / "state.npz"
+        model = _fresh(tiny_gcut)
+        model.fit(tiny_gcut, log_every=1, iterations=4,
+                  train_state_path=ck, checkpoint_every=2)
+        good = load_training_state(ck)
+
+        with faults.injected(
+                faults.kill_at("serialization.pre_rename")):
+            with pytest.raises(faults.SimulatedKill):
+                save_checkpoint(model.trainer, ck, 99, model.history)
+
+        survivor = load_training_state(ck)
+        assert survivor.iteration == good.iteration  # old file intact
+        # The interrupted temp file is still on disk, and ignored.
+        assert (tmp_path / "state.npz.tmp").exists()
+
+    def test_mismatched_checkpoint_rejected(self, tiny_gcut, tmp_path):
+        ck = tmp_path / "state.npz"
+        model = _fresh(tiny_gcut)
+        model.fit(tiny_gcut, log_every=1, iterations=4,
+                  train_state_path=ck, checkpoint_every=2)
+        other = DoppelGANger(
+            tiny_gcut.schema,
+            tiny_dg_config(iterations=4,
+                           use_auxiliary_discriminator=False))
+        with pytest.raises(ValueError, match="missing modules"):
+            other.fit(tiny_gcut, resume_from=ck)
+
+
+class TestValidation:
+    def test_checkpoint_every_requires_path(self, tiny_gcut):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            _fresh(tiny_gcut).fit(tiny_gcut, checkpoint_every=5)
+
+    def test_batch_size_larger_than_dataset_rejected(self, tiny_gcut):
+        model = DoppelGANger(tiny_gcut.schema,
+                             tiny_dg_config(batch_size=500, iterations=2))
+        with pytest.raises(ValueError, match="batch_size"):
+            model.fit(tiny_gcut)
+
+    def test_load_checkpoint_missing_file(self, tiny_gcut, tmp_path):
+        with pytest.raises(ValueError, match="missing"):
+            _fresh(tiny_gcut).fit(tiny_gcut,
+                                  resume_from=tmp_path / "absent.npz")

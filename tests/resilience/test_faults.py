@@ -1,0 +1,68 @@
+"""Tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestFiring:
+    def test_noop_when_nothing_armed(self):
+        assert faults.fire("trainer.critic_loss", step=3, value=1.5) == 1.5
+
+    def test_nan_poisons_value_at_step(self):
+        import math
+        with faults.injected(faults.nan_at("trainer.critic_loss", step=2)):
+            assert faults.fire("trainer.critic_loss", step=1,
+                               value=1.0) == 1.0
+            assert math.isnan(faults.fire("trainer.critic_loss", step=2,
+                                          value=1.0))
+
+    def test_inf_action(self):
+        import math
+        with faults.injected(faults.inf_at("trainer.generator_loss")):
+            assert math.isinf(faults.fire("trainer.generator_loss",
+                                          step=0, value=0.0))
+
+    def test_one_shot_by_default(self):
+        with faults.injected(faults.nan_at("s", step=None)):
+            faults.fire("s", step=0, value=1.0)
+            assert faults.fire("s", step=1, value=2.0) == 2.0
+
+    def test_times_controls_repeat_firing(self):
+        import math
+        with faults.injected(faults.nan_at("s", times=2)):
+            assert math.isnan(faults.fire("s", value=1.0))
+            assert math.isnan(faults.fire("s", value=1.0))
+            assert faults.fire("s", value=1.0) == 1.0
+
+    def test_site_mismatch_does_not_fire(self):
+        with faults.injected(faults.raise_at("other.site")):
+            faults.fire("trainer.step", step=0)
+
+    def test_raise_action(self):
+        with faults.injected(faults.raise_at("trainer.step", step=1)):
+            faults.fire("trainer.step", step=0)
+            with pytest.raises(faults.FaultInjected):
+                faults.fire("trainer.step", step=1)
+
+    def test_kill_is_base_exception(self):
+        assert not issubclass(faults.SimulatedKill, Exception)
+        with faults.injected(faults.kill_at("serialization.pre_rename")):
+            with pytest.raises(faults.SimulatedKill):
+                faults.fire("serialization.pre_rename")
+
+    def test_context_manager_disarms(self):
+        with faults.injected(faults.nan_at("s")):
+            assert len(faults.active()) == 1
+        assert faults.active() == []
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError, match="action"):
+            faults.Fault(site="s", action="explode")

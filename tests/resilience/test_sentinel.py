@@ -1,0 +1,129 @@
+"""Divergence sentinel tests: detection, rollback, retry policy."""
+
+import numpy as np
+import pytest
+
+from repro.core import DoppelGANger
+from repro.resilience import (DivergenceDetected, DivergenceSentinel,
+                              SentinelPolicy, TrainingDiverged, faults)
+from tests.conftest import tiny_dg_config
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _model(tiny_gcut, **overrides):
+    return DoppelGANger(tiny_gcut.schema,
+                        tiny_dg_config(iterations=10, **overrides))
+
+
+class TestDetection:
+    def test_nan_detected(self):
+        sentinel = DivergenceSentinel()
+        with pytest.raises(DivergenceDetected) as info:
+            sentinel.check(3, float("nan"), 0.0, 0.0)
+        assert info.value.reason == "nan"
+
+    def test_inf_detected(self):
+        with pytest.raises(DivergenceDetected):
+            DivergenceSentinel().check(0, 0.0, float("inf"), 0.0)
+
+    def test_runaway_wasserstein_detected(self):
+        policy = SentinelPolicy(wasserstein_limit=10.0)
+        with pytest.raises(DivergenceDetected) as info:
+            DivergenceSentinel(policy).check(0, 0.0, 0.0, 11.0)
+        assert info.value.reason == "runaway"
+
+    def test_healthy_step_passes(self):
+        DivergenceSentinel().check(0, 1.0, -1.0, 0.5)
+
+    def test_coerce_forms(self):
+        assert DivergenceSentinel.coerce(None) is None
+        assert DivergenceSentinel.coerce(False) is None
+        assert isinstance(DivergenceSentinel.coerce(True),
+                          DivergenceSentinel)
+        policy = SentinelPolicy(max_retries=7)
+        assert DivergenceSentinel.coerce(policy).policy.max_retries == 7
+        with pytest.raises(TypeError):
+            DivergenceSentinel.coerce("yes")
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SentinelPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            SentinelPolicy(lr_decay=0.0)
+        with pytest.raises(ValueError):
+            SentinelPolicy(snapshot_every=0)
+
+
+class TestRollback:
+    def test_injected_nan_triggers_rollback_and_training_completes(
+            self, tiny_gcut):
+        """The acceptance-criterion path: a NaN in a critic step rolls
+        back, retries, and training still finishes with finite losses
+        and visible counters."""
+        model = _model(tiny_gcut)
+        with faults.injected(faults.nan_at("trainer.critic_loss",
+                                           step=4)):
+            history = model.fit(tiny_gcut, log_every=1,
+                                sentinel=SentinelPolicy(max_retries=2))
+        assert history.nan_events == 1
+        assert history.rollbacks == 1
+        assert len(history.iterations) == 10
+        assert all(np.isfinite(history.d_loss))
+        assert all(np.isfinite(history.g_loss))
+
+    def test_injected_exception_mid_step_recovered(self, tiny_gcut):
+        model = _model(tiny_gcut)
+        with faults.injected(faults.raise_at("trainer.step", step=3)):
+            history = model.fit(tiny_gcut, log_every=1,
+                                sentinel=True)
+        assert history.step_faults == 1
+        assert history.rollbacks == 1
+        assert len(history.iterations) == 10
+
+    def test_lr_decay_applied_on_rollback(self, tiny_gcut):
+        model = _model(tiny_gcut)
+        base_lr = model.config.learning_rate
+        with faults.injected(faults.nan_at("trainer.generator_loss",
+                                           step=2)):
+            history = model.fit(
+                tiny_gcut, log_every=1,
+                sentinel=SentinelPolicy(max_retries=2, lr_decay=0.5,
+                                        reseed=False))
+        assert history.lr_decays == 1
+        assert model.trainer.g_optimizer.lr == pytest.approx(base_lr * 0.5)
+
+    def test_retry_budget_exhaustion_raises_training_diverged(
+            self, tiny_gcut):
+        """A persistent NaN (fires every retry) must exhaust the budget
+        and surface as TrainingDiverged, not loop forever."""
+        model = _model(tiny_gcut)
+        with faults.injected(faults.nan_at("trainer.critic_loss",
+                                           times=100)):
+            with pytest.raises(TrainingDiverged) as info:
+                model.fit(tiny_gcut, log_every=1,
+                          sentinel=SentinelPolicy(max_retries=2))
+        assert info.value.rollbacks == 2
+        assert model.trainer.history.nan_events == 3
+
+    def test_no_sentinel_means_fault_propagates(self, tiny_gcut):
+        model = _model(tiny_gcut)
+        with faults.injected(faults.raise_at("trainer.step", step=1)):
+            with pytest.raises(faults.FaultInjected):
+                model.fit(tiny_gcut, log_every=1)
+
+    def test_clean_run_unaffected_by_sentinel(self, tiny_gcut):
+        """Sentinel on, no faults: identical trace to a sentinel-less run
+        (snapshots must not perturb training)."""
+        plain = _model(tiny_gcut).fit(tiny_gcut, log_every=1)
+        guarded = _model(tiny_gcut).fit(
+            tiny_gcut, log_every=1,
+            sentinel=SentinelPolicy(snapshot_every=3))
+        assert plain.d_loss == guarded.d_loss
+        assert plain.g_loss == guarded.g_loss
+        assert guarded.rollbacks == 0
