@@ -13,6 +13,11 @@ without writing code:
 
     # inspect a dataset
     python -m repro.cli inspect --data synth.npz
+
+    # benchmark sweep (optionally process-parallel; --workers never
+    # changes the result, see docs/architecture.md "Parallel execution")
+    python -m repro.cli sweep --datasets gcut --models hmm ar \
+        --scale tiny --workers 2 --report report.md
 """
 
 from __future__ import annotations
@@ -76,10 +81,36 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--model", required=True)
     gen.add_argument("--n", type=int, required=True)
     gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--workers", type=int, default=1,
+                     help="generation worker processes (any value gives "
+                          "bit-identical output)")
     gen.add_argument("--out", required=True)
 
     ins = sub.add_parser("inspect", help="print a dataset summary")
     ins.add_argument("--data", required=True)
+
+    sweep = sub.add_parser("sweep", help="train a (dataset x model x seed) "
+                                         "grid, optionally in parallel")
+    sweep.add_argument("--datasets", nargs="+", required=True,
+                       choices=("wwt", "mba", "gcut"))
+    sweep.add_argument("--models", nargs="+", required=True,
+                       choices=("dg", "ar", "rnn", "hmm", "naive_gan"))
+    sweep.add_argument("--scale", choices=("bench", "tiny"), default="bench")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (any value gives identical "
+                            "models)")
+    sweep.add_argument("--seeds", type=int, default=None,
+                       help="replicas per cell with spawned seeds "
+                            "(default: one cell at the scale's seed)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="on-disk result cache; repeated sweeps skip "
+                            "finished cells")
+    sweep.add_argument("--report", default=None,
+                       help="write the deterministic sweep report "
+                            "(digests + failures) to this markdown file")
+    sweep.add_argument("--digest-n", type=int, default=16,
+                       help="objects generated per cell for the report "
+                            "digest")
     return parser
 
 
@@ -147,10 +178,32 @@ def _cmd_train(args) -> int:
 
 def _cmd_generate(args) -> int:
     model = DoppelGANger.load(args.model)
-    synthetic = model.generate(args.n, rng=np.random.default_rng(args.seed))
+    synthetic = model.generate(args.n, rng=np.random.default_rng(args.seed),
+                               workers=args.workers)
     synthetic.save(args.out)
     print(f"wrote {args.n} synthetic objects to {args.out}")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.configs import SCALES
+    from repro.experiments.harness import run_sweep
+    from repro.experiments.report import render_sweep_report, timing_summary
+
+    result = run_sweep(args.datasets, args.models, scale=SCALES[args.scale],
+                       workers=args.workers, seeds=args.seeds,
+                       cache_dir=args.cache_dir)
+    summary = timing_summary(result.timings)
+    if summary:
+        print(summary)
+    if args.report:
+        report = render_sweep_report(result, n=args.digest_n)
+        with open(args.report, "w") as handle:
+            handle.write(report + "\n")
+        print(f"sweep report written to {args.report}")
+    print(f"trained {len(result.models)} cells, "
+          f"{len(result.failures)} failed")
+    return 1 if result.failures else 0
 
 
 def _cmd_inspect(args) -> int:
@@ -175,7 +228,8 @@ def _cmd_inspect(args) -> int:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"simulate": _cmd_simulate, "train": _cmd_train,
-                "generate": _cmd_generate, "inspect": _cmd_inspect}
+                "generate": _cmd_generate, "inspect": _cmd_inspect,
+                "sweep": _cmd_sweep}
     return handlers[args.command](args)
 
 

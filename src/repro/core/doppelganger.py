@@ -185,7 +185,8 @@ class DoppelGANger:
 
     # -- generation --------------------------------------------------------------
     def generate(self, n: int, rng: np.random.Generator | None = None,
-                 attributes: np.ndarray | None = None) -> TimeSeriesDataset:
+                 attributes: np.ndarray | None = None,
+                 workers: int = 1) -> TimeSeriesDataset:
         """Sample ``n`` synthetic objects.
 
         Args:
@@ -193,42 +194,85 @@ class DoppelGANger:
             rng: Optional generator for reproducible sampling.
             attributes: Optional raw attribute rows (n, m) to condition on
                 (the "desired attribute distribution" input of §3.1).
+            workers: Worker processes for sharded generation.  The output
+                is bit-identical for every worker count (the noise blocks
+                are planned before sharding); ``workers > 1`` pays a
+                per-worker model-load cost, so it is worthwhile for large
+                ``n`` on multi-core machines.
         """
-        attrs, minmax, features = self.generate_encoded(n, rng=rng,
-                                                        attributes=attributes)
+        attrs, minmax, features = self.generate_encoded(
+            n, rng=rng, attributes=attributes, workers=workers)
         return self.encoder.inverse(attrs, minmax, features)
 
     def generate_encoded(self, n: int,
                          rng: np.random.Generator | None = None,
-                         attributes: np.ndarray | None = None
+                         attributes: np.ndarray | None = None,
+                         workers: int = 1
                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Sample in the encoded space (used by metrics and tests)."""
+        """Sample in the encoded space (used by metrics and tests).
+
+        The request is split into fixed blocks of at most ``batch_size``
+        samples, and every block's noise is drawn from ``rng`` here, in
+        plan order, before any block runs -- exactly the draws a plain
+        batched loop would make.  Sharding across ``workers`` therefore
+        cannot change the output (docs/architecture.md).
+        """
+        from repro.parallel.generation import (BlockPlan,
+                                               generate_encoded_sharded,
+                                               plan_blocks)
+
         self._require_trained()
         if attributes is not None and len(attributes) != n:
             raise ValueError("attributes must have n rows")
-        sampler = self.trainer
-        previous_rng = sampler.rng
-        if rng is not None:
-            sampler.rng = rng
-        try:
-            chunks_a, chunks_m, chunks_f = [], [], []
-            done = 0
-            while done < n:
-                batch = min(self.config.batch_size, n - done)
-                cond = None
-                if attributes is not None:
-                    cond = Tensor(self.encoder.encode_attributes(
-                        attributes[done:done + batch]))
-                with no_grad():
-                    a, m, f = sampler.generate_batch(batch, attributes=cond)
-                chunks_a.append(a.data)
-                chunks_m.append(m.data)
-                chunks_f.append(f.data)
-                done += batch
-            return (np.concatenate(chunks_a), np.concatenate(chunks_m),
-                    np.concatenate(chunks_f))
-        finally:
-            sampler.rng = previous_rng
+        base = rng if rng is not None else self._rng
+        sizes = plan_blocks(n, self.config.batch_size)
+        blocks, done = [], 0
+        for size in sizes:
+            cond = None
+            if attributes is not None:
+                cond = self.encoder.encode_attributes(
+                    attributes[done:done + size])
+            blocks.append(BlockPlan(
+                size=size,
+                noise=self._draw_block_noise(size, base,
+                                             conditioned=cond is not None),
+                cond=cond))
+            done += size
+        if workers > 1 and len(blocks) > 1:
+            triples = generate_encoded_sharded(self, blocks, workers)
+        else:
+            triples = [self._generate_block(b.size, b.noise, b.cond)
+                       for b in blocks]
+        empty = (np.zeros((0, self.encoder.attribute_dim)),
+                 np.zeros((0, self.encoder.minmax_dim)),
+                 np.zeros((0, self.schema.max_length,
+                           self.encoder.feature_dim)))
+        return tuple(np.concatenate([t[i] for t in triples])
+                     if triples else empty[i] for i in range(3))
+
+    def _draw_block_noise(self, size: int, rng: np.random.Generator,
+                          conditioned: bool) -> tuple:
+        """Draw one block's (z_a, z_m, z_f) in the generator's draw order.
+
+        Consumes ``rng`` exactly as an unsharded ``generate_batch`` call
+        would (no attribute noise when conditioning), so pre-planning the
+        blocks leaves previously-seeded outputs unchanged.
+        """
+        z_a = None if conditioned else \
+            self.attribute_generator.sample_noise(size, rng).data
+        z_m = self.minmax_generator.sample_noise(size, rng).data
+        z_f = self.feature_generator.sample_noise(size, rng).data
+        return (z_a, z_m, z_f)
+
+    def _generate_block(self, size: int, noise: tuple,
+                        cond_encoded: np.ndarray | None
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Generate one pre-drawn noise block (serial and sharded paths)."""
+        cond = Tensor(cond_encoded) if cond_encoded is not None else None
+        with no_grad():
+            a, m, f = self.trainer.generate_batch(size, attributes=cond,
+                                                  noise=noise)
+        return a.data, m.data, f.data
 
     # -- flexibility / attribute privacy (§5.2, §5.3.2) -----------------------
     def retrain_attribute_generator(
@@ -309,8 +353,8 @@ class DoppelGANger:
         return losses
 
     # -- persistence -----------------------------------------------------------
-    def save(self, path) -> None:
-        """Persist schema, config, encoder state, and all weights (npz)."""
+    def _state_arrays(self) -> dict:
+        """Full model state (meta + weights) as a flat array dict."""
         self._require_trained()
         meta = {
             "schema": schema_to_dict(self.schema),
@@ -323,15 +367,14 @@ class DoppelGANger:
         for prefix, module in modules.items():
             for name, value in module.state_dict().items():
                 arrays[f"{prefix}::{name}"] = value
-        np.savez(path, **arrays)
+        return arrays
 
     @classmethod
-    def load(cls, path) -> "DoppelGANger":
-        """Restore a model saved by :meth:`save`."""
-        with np.load(path) as archive:
-            meta = json.loads(bytes(archive["__meta__"].tobytes()).decode())
-            weights = {key: archive[key] for key in archive.files
-                       if key != "__meta__"}
+    def _from_state_arrays(cls, arrays: dict) -> "DoppelGANger":
+        """Rebuild a model from the dict produced by :meth:`_state_arrays`."""
+        meta = json.loads(bytes(arrays["__meta__"].tobytes()).decode())
+        weights = {key: value for key, value in arrays.items()
+                   if key != "__meta__"}
         schema = schema_from_dict(meta["schema"])
         config = _config_from_dict(meta["config"])
         model = cls(schema, config)
@@ -343,6 +386,33 @@ class DoppelGANger:
                      if name.startswith(prefix + "::")}
             module.load_state_dict(state)
         return model
+
+    def save(self, path) -> None:
+        """Persist schema, config, encoder state, and all weights (npz)."""
+        np.savez(path, **self._state_arrays())
+
+    @classmethod
+    def load(cls, path) -> "DoppelGANger":
+        """Restore a model saved by :meth:`save`."""
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        return cls._from_state_arrays(arrays)
+
+    def save_bytes(self) -> bytes:
+        """Serialize the full model to ``.npz`` bytes (no filesystem).
+
+        This is the payload handed to sharded-generation workers: each
+        worker reconstructs the model with :meth:`load_bytes` and draws
+        its assigned noise blocks.
+        """
+        from repro.nn.serialization import arrays_to_bytes
+        return arrays_to_bytes(self._state_arrays())
+
+    @classmethod
+    def load_bytes(cls, blob: bytes) -> "DoppelGANger":
+        """Inverse of :meth:`save_bytes`."""
+        from repro.nn.serialization import bytes_to_arrays
+        return cls._from_state_arrays(bytes_to_arrays(blob))
 
     def _named_modules(self) -> dict:
         modules = {

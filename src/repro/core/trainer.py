@@ -118,15 +118,29 @@ class DGTrainer:
 
     # -- sampling ------------------------------------------------------------
     def generate_batch(self, batch: int,
-                       attributes: Tensor | None = None
+                       attributes: Tensor | None = None,
+                       noise: tuple | None = None
                        ) -> tuple[Tensor, Tensor, Tensor]:
-        """Run the full generator stack; returns (attrs, minmax, features)."""
+        """Run the full generator stack; returns (attrs, minmax, features).
+
+        ``noise`` optionally supplies pre-drawn ``(z_a, z_m, z_f)`` arrays
+        (``z_a`` unused when conditioning on ``attributes``); sharded
+        generation draws them in the parent process so the output cannot
+        depend on which worker runs which block.
+        """
+        z_a = z_m = z_f = None
+        if noise is not None:
+            z_a, z_m, z_f = (Tensor(z) if z is not None else None
+                             for z in noise)
         if attributes is None:
-            z_a = self.attribute_generator.sample_noise(batch, self.rng)
+            if z_a is None:
+                z_a = self.attribute_generator.sample_noise(batch, self.rng)
             attributes = self.attribute_generator(z_a)
-        z_m = self.minmax_generator.sample_noise(batch, self.rng)
+        if z_m is None:
+            z_m = self.minmax_generator.sample_noise(batch, self.rng)
         minmax = self.minmax_generator(attributes, z_m)
-        z_f = self.feature_generator.sample_noise(batch, self.rng)
+        if z_f is None:
+            z_f = self.feature_generator.sample_noise(batch, self.rng)
         features = self.feature_generator(attributes, minmax, z_f)
         return attributes, minmax, features
 

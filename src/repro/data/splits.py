@@ -29,23 +29,33 @@ class EvaluationSplit:
 
 def make_split(dataset: TimeSeriesDataset,
                rng: np.random.Generator) -> EvaluationSplit:
-    """Shuffle and split real data into equal halves A / A'."""
+    """Shuffle and split real data into two halves A / A'.
+
+    For odd ``n`` the extra object goes to the test half A', so no object
+    is silently dropped; the halves then differ in size by one.
+    """
     n = len(dataset)
     if n < 2:
         raise ValueError("need at least 2 objects to split")
     order = rng.permutation(n)
     half = n // 2
     return EvaluationSplit(train_real=dataset[order[:half]],
-                           test_real=dataset[order[half:half * 2]])
+                           test_real=dataset[order[half:]])
 
 
 def synthesize_split(split: EvaluationSplit, model,
                      rng: np.random.Generator) -> EvaluationSplit:
-    """Fill in B and B' by sampling a trained generative model.
+    """Return a new split with B and B' sampled from a trained model.
 
     ``model`` must expose ``generate(n, rng) -> TimeSeriesDataset`` (the
-    interface shared by DoppelGANger and all baselines).
+    interface shared by DoppelGANger and all baselines).  The input split
+    is not modified -- callers that cache an :class:`EvaluationSplit` can
+    synthesize from several models without corrupting each other's halves.
+    B and B' match the sizes of A and A' respectively (which differ by one
+    when the real dataset had an odd number of objects).
     """
-    split.train_synthetic = model.generate(len(split.train_real), rng=rng)
-    split.test_synthetic = model.generate(len(split.test_real), rng=rng)
-    return split
+    return EvaluationSplit(
+        train_real=split.train_real,
+        test_real=split.test_real,
+        train_synthetic=model.generate(len(split.train_real), rng=rng),
+        test_synthetic=model.generate(len(split.test_real), rng=rng))

@@ -1,15 +1,16 @@
 """Experiment harness shared by the benchmark suite."""
 
-from repro.experiments.configs import (BENCH, BenchScale, baseline_kwargs,
-                                       make_dataset, make_dg_config)
+from repro.experiments.configs import (BENCH, SCALES, TINY, BenchScale,
+                                       baseline_kwargs, make_dataset,
+                                       make_dg_config)
 from repro.experiments.harness import (MODEL_NAMES, SweepResult, clear_cache,
                                        configure_cache, get_dataset,
                                        get_failures, get_model, get_split,
                                        print_series, print_table, run_sweep)
 
 __all__ = [
-    "BENCH", "BenchScale", "make_dataset", "make_dg_config",
-    "baseline_kwargs",
+    "BENCH", "TINY", "SCALES", "BenchScale", "make_dataset",
+    "make_dg_config", "baseline_kwargs",
     "MODEL_NAMES", "get_dataset", "get_model", "get_split",
     "print_table", "print_series", "clear_cache", "configure_cache",
     "get_failures", "run_sweep", "SweepResult",

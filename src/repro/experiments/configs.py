@@ -21,8 +21,8 @@ import numpy as np
 from repro.core.config import DGConfig
 from repro.data.simulators import generate_gcut, generate_mba, generate_wwt
 
-__all__ = ["BenchScale", "BENCH", "make_dataset", "make_dg_config",
-           "baseline_kwargs"]
+__all__ = ["BenchScale", "BENCH", "TINY", "SCALES", "make_dataset",
+           "make_dg_config", "baseline_kwargs"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,16 @@ class BenchScale:
 
 
 BENCH = BenchScale()
+
+# Smoke-test scale: seconds per cell instead of minutes.  Used by the CLI
+# ``sweep`` command (``--scale tiny``), the CI parallel smoke step, and the
+# parallel-sweep benchmark, where only determinism and plumbing matter.
+TINY = BenchScale(n_samples=30, wwt_length=14, wwt_short_period=7,
+                  wwt_long_period=14, mba_length=8, gcut_length=8,
+                  dg_iterations=4, baseline_iterations=4, hidden_width=12,
+                  rnn_units=8, batch_size=8)
+
+SCALES = {"bench": BENCH, "tiny": TINY}
 
 
 def make_dataset(name: str, scale: BenchScale = BENCH, seed: int | None = None,

@@ -139,31 +139,37 @@ def get_split(dataset_name: str, model_name: str, scale: BenchScale = BENCH):
         split = make_split(get_dataset(dataset_name, scale), rng)
         model = get_model(dataset_name, model_name, scale,
                           train_data=split.train_real)
-        synthesize_split(split, model, rng=np.random.default_rng(
-            scale.seed + 2))
-        _SPLITS[key] = split
+        _SPLITS[key] = synthesize_split(
+            split, model, rng=np.random.default_rng(scale.seed + 2))
     return _SPLITS[key]
 
 
 def _build_model(dataset_name: str, model_name: str, scale: BenchScale,
-                 schema, **config_overrides):
+                 schema, seed: int | None = None, **config_overrides):
     if model_name == "dg":
+        if seed is not None:
+            config_overrides = {**config_overrides, "seed": seed}
         return DoppelGANger(schema,
                             make_dg_config(dataset_name, scale,
                                            **config_overrides))
     classes = {"hmm": HMMBaseline, "ar": ARBaseline, "rnn": RNNBaseline,
                "naive_gan": NaiveGANBaseline}
-    return classes[model_name](**baseline_kwargs(model_name, scale))
+    kwargs = baseline_kwargs(model_name, scale)
+    if seed is not None:
+        kwargs["seed"] = seed
+    return classes[model_name](**kwargs)
 
 
 def get_model(dataset_name: str, model_name: str, scale: BenchScale = BENCH,
-              train_data=None, cache_tag: str = "", **config_overrides):
+              train_data=None, cache_tag: str = "", seed: int | None = None,
+              **config_overrides):
     """Train (or fetch the cached) model for a dataset.
 
     ``config_overrides`` only apply to DoppelGANger variants (ablations);
-    give such variants a distinct ``cache_tag``.
+    give such variants a distinct ``cache_tag``.  ``seed`` overrides the
+    scale's training seed for any model type (used by multi-seed sweeps).
     """
-    key = (dataset_name, model_name, scale, cache_tag,
+    key = (dataset_name, model_name, scale, cache_tag, seed,
            tuple(sorted(config_overrides.items())),
            id(train_data) if train_data is not None else None)
     if key in _MODELS:
@@ -171,7 +177,7 @@ def get_model(dataset_name: str, model_name: str, scale: BenchScale = BENCH,
     data = train_data if train_data is not None else get_dataset(
         dataset_name, scale)
     model = _build_model(dataset_name, model_name, scale, data.schema,
-                         **config_overrides)
+                         seed=seed, **config_overrides)
     started = time.time()
     try:
         # REPRO_PROFILE=1 prints the op-level hot list of every run.
@@ -204,10 +210,17 @@ def get_model(dataset_name: str, model_name: str, scale: BenchScale = BENCH,
 
 @dataclass
 class SweepResult:
-    """Outcome of :func:`run_sweep`: trained models plus isolated failures."""
+    """Outcome of :func:`run_sweep`: models, isolated failures, timings.
+
+    ``models`` maps ``(dataset, model)`` -- or ``(dataset, model, seed)``
+    for multi-seed sweeps -- to the trained model; ``timings`` maps the
+    same keys to :class:`~repro.parallel.sweep.CellTiming` records
+    measured where each cell ran (worker or parent process).
+    """
 
     models: dict = field(default_factory=dict)
     failures: list[FailureRecord] = field(default_factory=list)
+    timings: dict = field(default_factory=dict)
 
     @property
     def failed_keys(self) -> list[tuple[str, str]]:
@@ -215,36 +228,77 @@ class SweepResult:
 
 
 def run_sweep(dataset_names, model_names, scale: BenchScale = BENCH,
-              isolate: bool = True, verbose: bool = True,
-              **config_overrides) -> SweepResult:
-    """Train every (dataset, model) pair, isolating per-model failures.
+              isolate: bool = True, verbose: bool = True, workers: int = 1,
+              seeds=None, cache_dir=None, **config_overrides) -> SweepResult:
+    """Train every (dataset, model[, seed]) cell, isolating failures.
 
     With ``isolate=True`` (the default) a model whose ``fit`` raises is
     recorded as a :class:`FailureRecord` and the sweep continues with the
-    remaining pairs; the failures are printed as a summary table at the
+    remaining cells; the failures are printed as a summary table at the
     end instead of aborting with a traceback.  ``isolate=False`` restores
-    fail-fast behaviour.
+    fail-fast behaviour (serial in-process sweeps only).
+
+    Args:
+        workers: Worker subprocesses to farm cells to.  ``workers=1`` runs
+            in-process; any worker count produces bit-identical models
+            (see docs/architecture.md, "Parallel execution").
+        seeds: ``None`` for one cell per pair at the scale's seed; an int
+            ``k`` for k replicas with decorrelated spawned seeds; or an
+            explicit list of training seeds.  Multi-seed cells are keyed
+            ``(dataset, model, replica-or-seed)`` in the result.
+        cache_dir: Optional directory for the on-disk result cache keyed
+            by (config hash, dataset fingerprint, seed); cached cells are
+            skipped and marked ``cached`` in the timing table.
     """
+    from repro.parallel.sweep import build_cells, run_cells
+
     result = SweepResult()
-    for dataset_name in dataset_names:
-        for model_name in model_names:
-            try:
-                result.models[(dataset_name, model_name)] = get_model(
-                    dataset_name, model_name, scale, **config_overrides)
-            except (KeyboardInterrupt, SimulatedKill):
-                raise
-            except Exception as exc:
-                if not isolate:
+    use_cells = workers > 1 or seeds is not None or cache_dir is not None
+    if not use_cells:
+        # In-process fast path: shares this process's model/dataset caches.
+        for dataset_name in dataset_names:
+            for model_name in model_names:
+                wall0, cpu0 = time.perf_counter(), time.process_time()
+                failed = False
+                try:
+                    result.models[(dataset_name, model_name)] = get_model(
+                        dataset_name, model_name, scale, **config_overrides)
+                except (KeyboardInterrupt, SimulatedKill):
                     raise
-                if _FAILURES and _FAILURES[-1].dataset == dataset_name \
-                        and _FAILURES[-1].model == model_name:
-                    record = _FAILURES[-1]
-                else:
-                    # Failure before fit() (dataset build, bad config).
-                    record = FailureRecord.from_exception(
-                        dataset_name, model_name, exc)
-                    _FAILURES.append(record)
-                result.failures.append(record)
+                except Exception as exc:
+                    if not isolate:
+                        raise
+                    failed = True
+                    if _FAILURES and _FAILURES[-1].dataset == dataset_name \
+                            and _FAILURES[-1].model == model_name:
+                        record = _FAILURES[-1]
+                    else:
+                        # Failure before fit() (dataset build, bad config).
+                        record = FailureRecord.from_exception(
+                            dataset_name, model_name, exc)
+                        _FAILURES.append(record)
+                    result.failures.append(record)
+                from repro.parallel.sweep import CellTiming
+                result.timings[(dataset_name, model_name)] = CellTiming(
+                    wall=time.perf_counter() - wall0,
+                    cpu=time.process_time() - cpu0,
+                    failed=failed, pid=os.getpid())
+    else:
+        cells = build_cells(dataset_names, model_names, seeds, scale.seed)
+        outcomes = run_cells(cells, scale, config_overrides,
+                             workers=workers, cache_dir=cache_dir)
+        for outcome in outcomes:
+            result.timings[outcome.label] = outcome.timing
+            if outcome.failure is not None:
+                if not isolate:
+                    raise RuntimeError(
+                        f"sweep cell {outcome.label} failed: "
+                        f"{outcome.failure.exception_type}: "
+                        f"{outcome.failure.message}")
+                result.failures.append(outcome.failure)
+                _FAILURES.append(outcome.failure)
+            else:
+                result.models[outcome.label] = outcome.model
     if verbose and result.failures:
         print_table(
             "Sweep failures",

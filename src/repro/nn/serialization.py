@@ -15,6 +15,7 @@ a truncated checkpoint behind -- the previous checkpoint survives intact.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import zipfile
@@ -25,6 +26,7 @@ from repro.nn.layers import Module
 from repro.nn.optim import Optimizer
 
 __all__ = ["save_module", "load_module", "save_npz_atomic",
+           "arrays_to_bytes", "bytes_to_arrays",
            "save_training_state", "load_training_state", "TrainingState"]
 
 _STATE_FORMAT = "repro-training-state"
@@ -67,6 +69,30 @@ def load_module(module: Module, path: str | os.PathLike) -> None:
                 f"{os.fspath(path)!r}: module expects "
                 f"{own[name].data.shape}, archive holds {value.shape}")
     module.load_state_dict(state)
+
+
+# -- in-memory archives ------------------------------------------------------
+
+def arrays_to_bytes(arrays: dict) -> bytes:
+    """Serialize named arrays to ``.npz`` bytes (no filesystem touch).
+
+    Used to ship model state across process boundaries -- e.g. handing a
+    trained generator to the sharded-generation workers of
+    :mod:`repro.parallel.generation` -- without a temp file per worker.
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def bytes_to_arrays(blob: bytes) -> dict:
+    """Inverse of :func:`arrays_to_bytes`; raises ValueError on corruption."""
+    try:
+        with np.load(io.BytesIO(blob)) as archive:
+            return {name: archive[name] for name in archive.files}
+    except (OSError, EOFError, ValueError, zipfile.BadZipFile) as exc:
+        raise ValueError(
+            f"cannot decode in-memory npz archive ({exc})") from exc
 
 
 # -- atomic writes -----------------------------------------------------------

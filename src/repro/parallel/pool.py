@@ -1,0 +1,71 @@
+"""A small process-pool abstraction with deterministic result ordering.
+
+Everything parallel in the reproduction -- sweep cells, generation shards --
+funnels through :class:`ProcessPool`, which wraps
+:class:`concurrent.futures.ProcessPoolExecutor` with three guarantees:
+
+- **ordered results**: ``map`` returns results in task-submission order,
+  never completion order, so parallel runs reassemble bit-identically;
+- **in-process fallback**: ``workers <= 1`` (or a single task) runs the
+  function inline in the calling process, keeping one code path for the
+  serial and parallel cases and making single-core machines first-class;
+- **picklable transport**: task functions must be module-level callables
+  and their payloads/results picklable -- results carrying structured
+  error records (e.g. :class:`repro.resilience.failures.FailureRecord`)
+  cross the process boundary intact.
+
+The start method defaults to ``fork`` where available (cheap on Linux, and
+the only method that lets tests monkeypatch worker behaviour) and can be
+overridden with the ``REPRO_MP_START`` environment variable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["ProcessPool", "effective_workers", "start_method"]
+
+
+def start_method() -> str:
+    """The multiprocessing start method used by :class:`ProcessPool`."""
+    override = os.environ.get("REPRO_MP_START")
+    if override:
+        return override
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def effective_workers(workers: int, n_tasks: int) -> int:
+    """Clamp a worker request to something useful for ``n_tasks`` tasks."""
+    return max(1, min(int(workers), int(n_tasks)))
+
+
+class ProcessPool:
+    """Run a module-level function over payloads across worker processes.
+
+    Args:
+        workers: Requested worker processes.  ``<= 1`` means run inline.
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = int(workers)
+
+    def map(self, fn, payloads: list) -> list:
+        """Apply ``fn`` to each payload; results in submission order.
+
+        An exception raised by ``fn`` propagates to the caller (workers
+        that must survive bad cells should catch internally and return a
+        structured record instead).
+        """
+        payloads = list(payloads)
+        workers = effective_workers(self.workers, len(payloads))
+        if workers <= 1 or len(payloads) <= 1:
+            return [fn(p) for p in payloads]
+        context = multiprocessing.get_context(start_method())
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as executor:
+            return list(executor.map(fn, payloads))

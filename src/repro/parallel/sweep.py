@@ -1,0 +1,210 @@
+"""Process-parallel execution of sweep cells.
+
+A *cell* is one (dataset, model, seed) training job.  The grid of
+EXPERIMENTS.md -- 5 models x 3 datasets plus ablations -- is embarrassingly
+parallel across cells, and re-training many seeds per configuration is the
+dominant cost of honest GAN evaluation, so this module farms cells to
+worker subprocesses via :class:`repro.parallel.pool.ProcessPool`.
+
+Determinism contract:
+
+- cells are enumerated in a fixed order (dataset-major, then model, then
+  replica), and per-cell training seeds are derived by
+  ``np.random.SeedSequence(base_seed).spawn(n_cells)`` -- decorrelated
+  streams that do not depend on which worker runs which cell;
+- each worker trains through the exact same
+  :func:`repro.experiments.harness.get_model` code path the serial sweep
+  uses, so ``workers=1`` and ``workers=N`` produce bit-identical models;
+- results are reassembled in cell order, never completion order.
+
+Failures cross the process boundary as pickling-safe
+:class:`~repro.resilience.failures.FailureRecord` instances inside the
+cell outcome -- a diverging model in a worker never aborts the sweep and
+never surfaces as an unpicklable traceback.  Every outcome also carries a
+:class:`CellTiming` with wall/CPU seconds measured inside the worker.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.cache import (SweepCache, cell_cache_key,
+                                  config_fingerprint, dataset_fingerprint)
+from repro.parallel.pool import ProcessPool
+from repro.resilience.failures import FailureRecord
+
+__all__ = ["SweepCell", "CellTiming", "CellOutcome", "build_cells",
+           "run_cells"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One training job of a sweep.
+
+    ``seed`` is the training seed override (None keeps the scale default);
+    ``label`` is the key the trained model appears under in the sweep
+    result: ``(dataset, model)`` for single-seed sweeps, or
+    ``(dataset, model, replica)`` for multi-seed sweeps.
+    """
+
+    dataset: str
+    model: str
+    seed: int | None
+    label: tuple
+
+
+@dataclass
+class CellTiming:
+    """Wall/CPU accounting for one cell, measured where it ran."""
+
+    wall: float
+    cpu: float
+    cached: bool = False
+    failed: bool = False
+    pid: int = 0
+
+    def row(self, label: tuple) -> list:
+        """Render as a row for the report's timing table."""
+        status = ("cached" if self.cached
+                  else "failed" if self.failed else "trained")
+        seed = label[2] if len(label) > 2 else "-"
+        return [label[0], label[1], seed, status,
+                round(self.wall, 3), round(self.cpu, 3)]
+
+
+@dataclass
+class CellOutcome:
+    """What one worker returns for one cell (pickled across processes)."""
+
+    label: tuple
+    model: object | None
+    failure: FailureRecord | None
+    timing: CellTiming
+
+
+def build_cells(dataset_names, model_names, seeds,
+                base_seed: int) -> list[SweepCell]:
+    """Enumerate sweep cells in deterministic order with spawned seeds.
+
+    Args:
+        seeds: ``None`` -> one cell per (dataset, model) using the scale's
+            default seed.  An ``int k`` -> k replicas per pair, each with a
+            decorrelated seed spawned from ``SeedSequence(base_seed)``.  A
+            sequence of ints -> one replica per given seed, trained with
+            exactly that seed.
+        base_seed: Root entropy for spawned replica seeds.
+    """
+    pairs = [(d, m) for d in dataset_names for m in model_names]
+    if seeds is None:
+        return [SweepCell(d, m, None, (d, m)) for d, m in pairs]
+    if isinstance(seeds, (int, np.integer)):
+        replicas = int(seeds)
+        if replicas < 1:
+            raise ValueError("seeds must be >= 1 replicas")
+        children = np.random.SeedSequence(base_seed).spawn(
+            len(pairs) * replicas)
+        cells = []
+        for i, (d, m) in enumerate(pairs):
+            for r in range(replicas):
+                child = children[i * replicas + r]
+                seed = int(child.generate_state(1, dtype=np.uint32)[0])
+                cells.append(SweepCell(d, m, seed, (d, m, r)))
+        return cells
+    explicit = [int(s) for s in seeds]
+    return [SweepCell(d, m, s, (d, m, s))
+            for d, m in pairs for s in explicit]
+
+
+def _cell_config(cell: SweepCell, scale, config_overrides: dict) -> dict:
+    """The full, fingerprintable configuration of one cell."""
+    from repro.experiments.configs import baseline_kwargs, make_dg_config
+
+    if cell.model == "dg":
+        overrides = dict(config_overrides)
+        if cell.seed is not None:
+            overrides["seed"] = cell.seed
+        config = make_dg_config(cell.dataset, scale, **overrides)
+        return {"model": "dg", "config": dataclasses.asdict(config)}
+    kwargs = baseline_kwargs(cell.model, scale)
+    if cell.seed is not None:
+        kwargs["seed"] = cell.seed
+    return {"model": cell.model, "kwargs": kwargs}
+
+
+def _run_cell(payload) -> CellOutcome:
+    """Worker entry point: train one cell, catching failures structurally."""
+    cell, scale, config_overrides = payload
+    from repro.experiments import harness
+    from repro.resilience.faults import SimulatedKill
+
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    model, failure = None, None
+    try:
+        model = harness.get_model(cell.dataset, cell.model, scale,
+                                  seed=cell.seed, **config_overrides)
+    except (KeyboardInterrupt, SimulatedKill):
+        raise
+    except Exception as exc:
+        records = harness.get_failures()
+        if records and records[-1].dataset == cell.dataset \
+                and records[-1].model == cell.model:
+            failure = records[-1]
+        else:
+            failure = FailureRecord.from_exception(cell.dataset, cell.model,
+                                                   exc)
+    timing = CellTiming(wall=time.perf_counter() - wall0,
+                        cpu=time.process_time() - cpu0,
+                        failed=failure is not None, pid=os.getpid())
+    return CellOutcome(label=cell.label, model=model, failure=failure,
+                       timing=timing)
+
+
+def run_cells(cells: list[SweepCell], scale, config_overrides: dict,
+              workers: int = 1, cache_dir=None) -> list[CellOutcome]:
+    """Execute cells (cache, then pool), returning outcomes in cell order.
+
+    Cache hits are resolved in the calling process and never dispatched;
+    fresh results are written back to the cache.  ``workers=1`` runs every
+    cell inline through the identical worker code path.
+    """
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    keys: dict[tuple, str] = {}
+    outcomes: dict[tuple, CellOutcome] = {}
+    pending: list[SweepCell] = []
+
+    if cache is not None:
+        from repro.experiments.harness import get_dataset
+
+        dataset_fps = {name: dataset_fingerprint(get_dataset(name, scale))
+                       for name in {c.dataset for c in cells}}
+        for cell in cells:
+            key = cell_cache_key(
+                cell.model,
+                config_fingerprint(_cell_config(cell, scale,
+                                                config_overrides)),
+                dataset_fps[cell.dataset], cell.seed)
+            keys[cell.label] = key
+            wall0 = time.perf_counter()
+            model = cache.get(key)
+            if model is not None:
+                outcomes[cell.label] = CellOutcome(
+                    label=cell.label, model=model, failure=None,
+                    timing=CellTiming(wall=time.perf_counter() - wall0,
+                                      cpu=0.0, cached=True,
+                                      pid=os.getpid()))
+            else:
+                pending.append(cell)
+    else:
+        pending = list(cells)
+
+    payloads = [(cell, scale, config_overrides) for cell in pending]
+    for outcome in ProcessPool(workers).map(_run_cell, payloads):
+        outcomes[outcome.label] = outcome
+        if cache is not None and outcome.model is not None:
+            cache.put(keys[outcome.label], outcome.model)
+    return [outcomes[cell.label] for cell in cells]

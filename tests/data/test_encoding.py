@@ -289,6 +289,109 @@ class TestDegenerateData:
         back = enc.inverse(e.attributes, e.minmax, e.features)
         assert np.allclose(back.features, ds.features, rtol=1e-8)
 
+    @pytest.mark.parametrize("target", ["zero_one", "minus_one_one"])
+    def test_constant_and_zero_features_roundtrip(self, target):
+        """Regression: auto-normalisation on constant series (max == min).
+
+        One all-constant and one all-zero feature must encode to finite
+        values and decode back exactly, in both target ranges."""
+        from repro.data.dataset import TimeSeriesDataset
+        from repro.data.schema import ContinuousSpec, DataSchema
+        schema = DataSchema(
+            attributes=(ContinuousSpec("a"),),
+            features=(ContinuousSpec("const"), ContinuousSpec("zero")),
+            max_length=6)
+        n = 4
+        feats = np.zeros((n, 6, 2))
+        feats[:, :, 0] = 7.5
+        ds = TimeSeriesDataset(schema=schema,
+                               attributes=np.arange(n, dtype=float)[:, None],
+                               features=feats,
+                               lengths=np.full(n, 6))
+        enc = DataEncoder(schema, auto_normalize=True,
+                          target_range=target).fit(ds)
+        e = enc.transform(ds)
+        for arr in (e.attributes, e.minmax, e.features):
+            assert np.isfinite(arr).all()
+        back = enc.inverse(e.attributes, e.minmax, e.features)
+        assert np.allclose(back.features, feats, atol=1e-9)
+        assert np.allclose(back.attributes, ds.attributes, atol=1e-9)
+
+    def test_degenerate_half_range_ignores_unit_noise(self):
+        """Regression: with a generated half-range below the epsilon guard,
+        the per-step unit channel carries no information -- decode must
+        collapse onto the midpoint instead of amplifying generator noise."""
+        from repro.data.dataset import TimeSeriesDataset
+        from repro.data.schema import ContinuousSpec, DataSchema
+        schema = DataSchema(attributes=(),
+                            features=(ContinuousSpec("v"),), max_length=4)
+        ds = TimeSeriesDataset(schema=schema, attributes=np.zeros((3, 0)),
+                               features=np.linspace(0, 11, 12
+                                                    ).reshape(3, 4, 1),
+                               lengths=np.full(3, 4))
+        enc = DataEncoder(schema, auto_normalize=True).fit(ds)
+        e = enc.transform(ds)
+        # Generator-style output: zero half-range but wild unit values.
+        minmax = e.minmax.copy()
+        minmax[:, 1] = 0.0          # half-range -> 0
+        minmax[:, 0] = 0.5          # half-sum mid-scale
+        feats = e.features.copy()
+        feats[:, :, 0] = 37.0       # far out of [0, 1]
+        back = enc.inverse(e.attributes, minmax, feats)
+        expected = enc._unscale(0.5, enc._feat_low["v"], enc._feat_high["v"])
+        assert np.allclose(back.features[:, :, 0], expected)
+
+    @pytest.mark.parametrize("target", ["zero_one", "minus_one_one"])
+    def test_out_of_range_log_decode_clamped_to_spec(self, target):
+        """Regression: out-of-range encodings of a log-transformed,
+        non-negative feature used to decode to negative raw values (and to
+        values far above the declared high)."""
+        from repro.data.dataset import TimeSeriesDataset
+        from repro.data.schema import ContinuousSpec, DataSchema
+        schema = DataSchema(
+            attributes=(ContinuousSpec("size", low=0.0, high=1000.0,
+                                       log_transform=True),),
+            features=(ContinuousSpec("bytes", low=0.0, high=1000.0,
+                                     log_transform=True),),
+            max_length=4)
+        rng = np.random.default_rng(0)
+        ds = TimeSeriesDataset(schema=schema,
+                               attributes=rng.uniform(0, 1000, (3, 1)),
+                               features=rng.uniform(0, 1000, (3, 4, 1)),
+                               lengths=np.full(3, 4))
+        enc = DataEncoder(schema, auto_normalize=True,
+                          target_range=target).fit(ds)
+        e = enc.transform(ds)
+        lo, hi = (-1.4, 1.4) if target == "minus_one_one" else (-0.4, 1.4)
+        for bad in (lo, hi):
+            minmax = np.full_like(e.minmax, bad)
+            feats = e.features.copy()
+            feats[:, :, 0] = bad
+            attrs = np.full_like(e.attributes, bad)
+            back = enc.inverse(attrs, minmax, feats)
+            assert back.features.min() >= 0.0
+            assert back.features.max() <= 1000.0
+            assert back.attributes.min() >= 0.0
+            assert back.attributes.max() <= 1000.0
+
+    def test_out_of_range_decode_without_declared_bounds_unclamped(self):
+        """Without declared bounds the decoder must keep extrapolating --
+        clamping applies only to the spec's stated range."""
+        from repro.data.dataset import TimeSeriesDataset
+        from repro.data.schema import ContinuousSpec, DataSchema
+        schema = DataSchema(attributes=(),
+                            features=(ContinuousSpec("v"),), max_length=4)
+        ds = TimeSeriesDataset(schema=schema, attributes=np.zeros((3, 0)),
+                               features=np.linspace(0, 11, 12
+                                                    ).reshape(3, 4, 1),
+                               lengths=np.full(3, 4))
+        enc = DataEncoder(schema, auto_normalize=False).fit(ds)
+        e = enc.transform(ds)
+        feats = e.features.copy()
+        feats[:, :, 0] = 1.5  # 50% above the fitted range
+        back = enc.inverse(e.attributes, e.minmax, feats)
+        assert back.features[:, :, 0].max() > 11.0
+
     def test_continuous_attribute_with_log_transform(self):
         from repro.data.dataset import TimeSeriesDataset
         from repro.data.schema import ContinuousSpec, DataSchema

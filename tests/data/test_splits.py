@@ -32,9 +32,43 @@ class TestMakeSplit:
         with pytest.raises(ValueError, match="at least 2"):
             make_split(tiny_gcut[0], rng)
 
+    def test_odd_n_keeps_every_object(self, tiny_gcut, rng):
+        """Regression: odd-n splits used to silently drop one object."""
+        odd = tiny_gcut[list(range(9))]
+        split = make_split(odd, rng)
+        assert len(split.train_real) == 4
+        assert len(split.test_real) == 5
+        assert len(split.train_real) + len(split.test_real) == len(odd)
+        # Every original object appears in exactly one half.
+        pooled = np.concatenate([split.train_real.features,
+                                 split.test_real.features])
+        pooled = pooled.reshape(len(odd), -1)
+        original = odd.features.reshape(len(odd), -1)
+        matched = (pooled[:, None, :] == original[None, :, :]).all(axis=2)
+        assert matched.any(axis=0).all()
+
     def test_synthetic_halves_filled(self, tiny_gcut, rng):
         split = make_split(tiny_gcut, rng)
         model = FakeModel(tiny_gcut)
-        synthesize_split(split, model, rng)
+        split = synthesize_split(split, model, rng)
         assert len(split.train_synthetic) == len(split.train_real)
         assert len(split.test_synthetic) == len(split.test_real)
+
+    def test_synthesize_split_odd_n_sizes(self, tiny_gcut, rng):
+        odd = tiny_gcut[list(range(11))]
+        split = synthesize_split(make_split(odd, rng), FakeModel(odd), rng)
+        assert len(split.train_synthetic) == len(split.train_real) == 5
+        assert len(split.test_synthetic) == len(split.test_real) == 6
+
+    def test_synthesize_split_does_not_mutate_input(self, tiny_gcut, rng):
+        """Regression: synthesize_split used to fill B/B' into its input,
+        corrupting splits cached by the harness across model runs."""
+        cached = make_split(tiny_gcut, rng)
+        first = synthesize_split(cached, FakeModel(tiny_gcut), rng)
+        assert cached.train_synthetic is None
+        assert cached.test_synthetic is None
+        assert first is not cached
+        assert first.train_real is cached.train_real
+        second = synthesize_split(cached, FakeModel(tiny_gcut), rng)
+        # A second model's synthesis cannot clobber the first result.
+        assert second.train_synthetic is not first.train_synthetic

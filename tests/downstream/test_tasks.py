@@ -72,7 +72,7 @@ class TestForecastingArrays:
 class TestProtocols:
     def test_train_synthetic_test_real(self, tiny_gcut, rng):
         split = make_split(tiny_gcut, rng)
-        synthesize_split(split, ResamplingModel(split.train_real), rng)
+        split = synthesize_split(split, ResamplingModel(split.train_real), rng)
         score = train_synthetic_test_real(split, GaussianNaiveBayes(),
                                           event_prediction_features)
         assert 0.0 <= score <= 1.0
@@ -98,7 +98,7 @@ class TestProtocols:
 class TestAlgorithmRanking:
     def test_resampling_model_preserves_ranking_fields(self, tiny_gcut, rng):
         split = make_split(tiny_gcut, rng)
-        synthesize_split(split, ResamplingModel(split.train_real), rng)
+        split = synthesize_split(split, ResamplingModel(split.train_real), rng)
         models = [GaussianNaiveBayes(), LogisticRegression(iterations=50)]
         result = algorithm_ranking(split, models, event_prediction_features)
         assert len(result.real_scores) == 2

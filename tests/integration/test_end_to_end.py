@@ -31,7 +31,7 @@ class TestFullPipeline:
         model = DoppelGANger(tiny_gcut.schema,
                              tiny_dg_config(iterations=30))
         model.fit(split.train_real)
-        synthesize_split(split, model, rng)
+        split = synthesize_split(split, model, rng)
         score = train_synthetic_test_real(split, GaussianNaiveBayes(),
                                           event_prediction_features)
         assert 0.0 <= score <= 1.0

@@ -1,0 +1,75 @@
+"""SweepCache: round-trips, key invalidation, corruption tolerance."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import DGConfig
+from repro.data.simulators import generate_gcut
+from repro.parallel.cache import (SweepCache, cell_cache_key,
+                                  config_fingerprint, dataset_fingerprint)
+
+
+class TestFingerprints:
+    def test_config_fingerprint_stable(self):
+        config = DGConfig(sample_len=4)
+        assert config_fingerprint(config) == config_fingerprint(config)
+        assert config_fingerprint(config) == config_fingerprint(
+            dataclasses.asdict(config))
+
+    def test_config_change_invalidates(self):
+        base = DGConfig(sample_len=4)
+        changed = DGConfig(sample_len=4, iterations=base.iterations + 1)
+        assert config_fingerprint(base) != config_fingerprint(changed)
+
+    def test_dict_key_order_irrelevant(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == \
+            config_fingerprint({"b": 2, "a": 1})
+
+    def test_dataset_fingerprint_stable_and_sensitive(self):
+        data = generate_gcut(12, np.random.default_rng(0), max_length=8)
+        same = generate_gcut(12, np.random.default_rng(0), max_length=8)
+        other = generate_gcut(12, np.random.default_rng(1), max_length=8)
+        assert dataset_fingerprint(data) == dataset_fingerprint(same)
+        assert dataset_fingerprint(data) != dataset_fingerprint(other)
+
+    def test_cell_key_varies_with_every_component(self):
+        base = cell_cache_key("dg", "cfg", "data", 0)
+        assert base != cell_cache_key("ar", "cfg", "data", 0)
+        assert base != cell_cache_key("dg", "cfg2", "data", 0)
+        assert base != cell_cache_key("dg", "cfg", "data2", 0)
+        assert base != cell_cache_key("dg", "cfg", "data", 1)
+        assert base != cell_cache_key("dg", "cfg", "data", None)
+
+
+class TestSweepCache:
+    def test_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        key = cell_cache_key("dg", "a", "b", 0)
+        cache.put(key, {"weights": np.arange(4.0)})
+        assert key in cache
+        restored = cache.get(key)
+        np.testing.assert_array_equal(restored["weights"], np.arange(4.0))
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        assert cache.get("0" * 64) is None
+        assert "0" * 64 not in cache
+
+    def test_corrupt_entry_reads_as_miss_and_is_removed(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        key = cell_cache_key("dg", "a", "b", 0)
+        cache.put(key, [1, 2, 3])
+        with open(cache._path(key), "wb") as handle:
+            handle.write(b"this is not a pickle")
+        assert cache.get(key) is None
+        assert key not in cache  # removed, so a re-put can heal it
+
+    def test_clear(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        for seed in range(3):
+            cache.put(cell_cache_key("dg", "a", "b", seed), seed)
+        assert cache.clear() == 3
+        assert cache.get(cell_cache_key("dg", "a", "b", 0)) is None

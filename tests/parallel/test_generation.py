@@ -1,0 +1,147 @@
+"""Sharded generation: ``generate(n, workers=k)`` is invariant in k (S5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DoppelGANger
+from repro.nn import Tensor, no_grad
+from repro.parallel.generation import plan_blocks
+from tests.conftest import tiny_dg_config
+
+_SIMULATORS = ("wwt", "mba", "gcut")
+
+
+@pytest.fixture(scope="module")
+def trained(request, tiny_wwt, tiny_mba, tiny_gcut):
+    """A briefly-trained DoppelGANger per simulator (module-shared)."""
+    models = {}
+    for name, data in (("wwt", tiny_wwt), ("mba", tiny_mba),
+                       ("gcut", tiny_gcut)):
+        model = DoppelGANger(data.schema, tiny_dg_config(iterations=4))
+        model.fit(data)
+        models[name] = model
+    return models
+
+
+def _assert_same_dataset(a, b):
+    np.testing.assert_array_equal(a.features, b.features)
+    np.testing.assert_array_equal(a.attributes, b.attributes)
+    np.testing.assert_array_equal(a.lengths, b.lengths)
+
+
+class TestPlanBlocks:
+    def test_full_batches_plus_remainder(self):
+        assert plan_blocks(20, 8) == [8, 8, 4]
+        assert plan_blocks(8, 8) == [8]
+        assert plan_blocks(3, 8) == [3]
+        assert plan_blocks(0, 8) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            plan_blocks(-1, 8)
+
+
+class TestRngCompatibility:
+    def test_generate_consumes_rng_like_a_plain_batched_loop(self, trained):
+        """Block planning must not change previously-seeded outputs.
+
+        Replays the pre-sharding implementation -- a straight loop calling
+        ``generate_batch`` with the caller's rng -- and requires
+        ``generate_encoded`` to reproduce it bit-for-bit, so results
+        published before the workers= option exist unchanged.
+        """
+        model = trained["gcut"]
+        n = model.config.batch_size + 5
+        rng = np.random.default_rng(99)
+        sampler = model.trainer
+        previous = sampler.rng
+        sampler.rng = rng
+        try:
+            chunks, done = [], 0
+            while done < n:
+                batch = min(model.config.batch_size, n - done)
+                with no_grad():
+                    chunks.append(sampler.generate_batch(batch))
+                done += batch
+        finally:
+            sampler.rng = previous
+        legacy = tuple(
+            np.concatenate([c[i].data for c in chunks]) for i in range(3))
+        current = model.generate_encoded(n, rng=np.random.default_rng(99))
+        for old, new in zip(legacy, current):
+            np.testing.assert_array_equal(old, new)
+
+    def test_conditioned_loop_equivalence(self, trained, tiny_gcut):
+        model = trained["gcut"]
+        n = 10
+        attrs = tiny_gcut.attributes[:n]
+        rng = np.random.default_rng(17)
+        sampler = model.trainer
+        previous = sampler.rng
+        sampler.rng = rng
+        try:
+            cond = Tensor(model.encoder.encode_attributes(attrs))
+            with no_grad():
+                _, m, f = sampler.generate_batch(n, attributes=cond)
+        finally:
+            sampler.rng = previous
+        _, minmax, features = model.generate_encoded(
+            n, rng=np.random.default_rng(17), attributes=attrs)
+        np.testing.assert_array_equal(m.data, minmax)
+        np.testing.assert_array_equal(f.data, features)
+
+
+class TestWorkerInvariance:
+    @pytest.mark.parametrize("simulator", _SIMULATORS)
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_sharded_equals_serial(self, trained, simulator, workers):
+        model = trained[simulator]
+        n = model.config.batch_size + 5  # spans >1 block
+        serial = model.generate(n, rng=np.random.default_rng(11))
+        sharded = model.generate(n, rng=np.random.default_rng(11),
+                                 workers=workers)
+        _assert_same_dataset(serial, sharded)
+
+    @pytest.mark.parametrize("simulator", _SIMULATORS)
+    def test_workers_one_is_the_serial_path(self, trained, simulator):
+        model = trained[simulator]
+        serial = model.generate(6, rng=np.random.default_rng(11))
+        one = model.generate(6, rng=np.random.default_rng(11), workers=1)
+        _assert_same_dataset(serial, one)
+
+    def test_conditioned_generation_is_invariant(self, trained, tiny_gcut):
+        model = trained["gcut"]
+        n = model.config.batch_size + 3
+        attrs = tiny_gcut.attributes[:n]
+        serial = model.generate(n, rng=np.random.default_rng(4),
+                                attributes=attrs)
+        sharded = model.generate(n, rng=np.random.default_rng(4),
+                                 attributes=attrs, workers=2)
+        _assert_same_dataset(serial, sharded)
+        np.testing.assert_array_equal(sharded.attributes, attrs)
+
+    def test_empty_request(self, trained):
+        empty = trained["gcut"].generate(0, rng=np.random.default_rng(0),
+                                         workers=2)
+        assert len(empty) == 0
+
+    def test_seeds_still_matter(self, trained):
+        model = trained["gcut"]
+        a = model.generate(8, rng=np.random.default_rng(1), workers=2)
+        b = model.generate(8, rng=np.random.default_rng(2), workers=2)
+        assert not np.array_equal(a.features, b.features)
+
+
+class TestBytesRoundTrip:
+    def test_save_bytes_load_bytes_identical_generation(self, trained):
+        model = trained["gcut"]
+        clone = DoppelGANger.load_bytes(model.save_bytes())
+        _assert_same_dataset(
+            model.generate(8, rng=np.random.default_rng(3)),
+            clone.generate(8, rng=np.random.default_rng(3)))
+
+    def test_corrupt_blob_raises_value_error(self):
+        with pytest.raises(ValueError):
+            DoppelGANger.load_bytes(b"not an npz archive")

@@ -1,0 +1,73 @@
+"""ProcessPool: ordered results, inline fallback, start-method override."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel.pool import ProcessPool, effective_workers, start_method
+
+
+def _square(x):
+    return x * x
+
+
+def _identify(x):
+    return (x, os.getpid())
+
+
+def _boom(x):
+    raise RuntimeError(f"task {x} failed")
+
+
+class TestEffectiveWorkers:
+    def test_clamped_to_task_count(self):
+        assert effective_workers(8, 3) == 3
+
+    def test_clamped_to_at_least_one(self):
+        assert effective_workers(0, 5) == 1
+        assert effective_workers(4, 0) == 1
+
+
+class TestStartMethod:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        assert start_method() == "spawn"
+
+    def test_default_is_a_real_method(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MP_START", raising=False)
+        import multiprocessing
+        assert start_method() in multiprocessing.get_all_start_methods()
+
+
+class TestProcessPool:
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPool(-1)
+
+    def test_inline_fallback_runs_in_this_process(self):
+        results = ProcessPool(1).map(_identify, [1, 2, 3])
+        assert [value for value, _ in results] == [1, 2, 3]
+        assert all(pid == os.getpid() for _, pid in results)
+
+    def test_single_payload_runs_inline_even_with_workers(self):
+        [(value, pid)] = ProcessPool(4).map(_identify, [7])
+        assert value == 7 and pid == os.getpid()
+
+    def test_results_in_submission_order(self):
+        values = list(range(20))
+        assert ProcessPool(2).map(_square, values) == \
+            [v * v for v in values]
+
+    def test_subprocesses_actually_used(self):
+        results = ProcessPool(2).map(_identify, list(range(8)))
+        pids = {pid for _, pid in results}
+        assert os.getpid() not in pids
+
+    def test_empty_payloads(self):
+        assert ProcessPool(4).map(_square, []) == []
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="task 0 failed"):
+            ProcessPool(2).map(_boom, [0, 1])

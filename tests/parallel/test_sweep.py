@@ -1,0 +1,154 @@
+"""Parallel sweeps: determinism vs serial, failures, caching, timings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import TINY
+from repro.experiments.harness import clear_cache, run_sweep
+from repro.experiments.report import (render_sweep_report, sweep_digest,
+                                      timing_summary)
+from repro.parallel.sweep import build_cells
+from repro.resilience.failures import FailureRecord
+
+
+@pytest.fixture(autouse=True)
+def _fresh_harness():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestBuildCells:
+    def test_default_one_cell_per_pair(self):
+        cells = build_cells(["gcut", "wwt"], ["hmm", "ar"], None, 42)
+        assert [c.label for c in cells] == [
+            ("gcut", "hmm"), ("gcut", "ar"), ("wwt", "hmm"), ("wwt", "ar")]
+        assert all(c.seed is None for c in cells)
+
+    def test_replica_seeds_deterministic_and_distinct(self):
+        first = build_cells(["gcut"], ["hmm", "ar"], 3, 42)
+        second = build_cells(["gcut"], ["hmm", "ar"], 3, 42)
+        assert [c.seed for c in first] == [c.seed for c in second]
+        assert len({c.seed for c in first}) == len(first)
+        assert [c.label for c in first[:3]] == [
+            ("gcut", "hmm", 0), ("gcut", "hmm", 1), ("gcut", "hmm", 2)]
+
+    def test_replica_seeds_change_with_base_seed(self):
+        a = build_cells(["gcut"], ["hmm"], 2, 42)
+        b = build_cells(["gcut"], ["hmm"], 2, 43)
+        assert [c.seed for c in a] != [c.seed for c in b]
+
+    def test_explicit_seed_list(self):
+        cells = build_cells(["gcut"], ["hmm"], [11, 22], 42)
+        assert [(c.seed, c.label) for c in cells] == [
+            (11, ("gcut", "hmm", 11)), (22, ("gcut", "hmm", 22))]
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            build_cells(["gcut"], ["hmm"], 0, 42)
+
+
+class TestParallelEqualsSerial:
+    def test_worker_count_does_not_change_models(self):
+        serial = run_sweep(["gcut"], ["hmm", "ar", "dg"], scale=TINY,
+                           verbose=False)
+        clear_cache()
+        parallel = run_sweep(["gcut"], ["hmm", "ar", "dg"], scale=TINY,
+                             workers=2, verbose=False)
+        assert not serial.failures and not parallel.failures
+        assert sweep_digest(serial.models) == sweep_digest(parallel.models)
+
+    def test_report_is_byte_identical(self):
+        serial = run_sweep(["gcut"], ["hmm", "ar"], scale=TINY,
+                           verbose=False)
+        clear_cache()
+        parallel = run_sweep(["gcut"], ["hmm", "ar"], scale=TINY,
+                             workers=2, verbose=False)
+        assert render_sweep_report(serial) == render_sweep_report(parallel)
+
+    def test_multi_seed_parallel_matches_multi_seed_serial(self):
+        serial = run_sweep(["gcut"], ["hmm"], scale=TINY, seeds=2,
+                           workers=1, verbose=False)
+        clear_cache()
+        parallel = run_sweep(["gcut"], ["hmm"], scale=TINY, seeds=2,
+                             workers=2, verbose=False)
+        assert sorted(serial.models) == [("gcut", "hmm", 0),
+                                         ("gcut", "hmm", 1)]
+        assert sweep_digest(serial.models) == sweep_digest(parallel.models)
+
+
+class TestFailurePropagation:
+    def test_worker_failure_crosses_process_boundary(self):
+        result = run_sweep(["gcut"], ["hmm", "no_such_model"], scale=TINY,
+                           workers=2, verbose=False)
+        assert ("gcut", "hmm") in result.models
+        assert ("gcut", "no_such_model") not in result.models
+        assert len(result.failures) == 1
+        record = result.failures[0]
+        assert isinstance(record, FailureRecord)
+        assert record.dataset == "gcut"
+        assert record.model == "no_such_model"
+        assert "no_such_model" in record.message
+        assert result.timings[("gcut", "no_such_model")].failed
+
+    def test_isolate_false_raises(self):
+        with pytest.raises(RuntimeError, match="no_such_model"):
+            run_sweep(["gcut"], ["no_such_model"], scale=TINY, workers=2,
+                      isolate=False, verbose=False)
+
+
+class TestCacheIntegration:
+    def test_second_sweep_hits_cache_with_identical_models(self, tmp_path):
+        cache_dir = tmp_path / "cells"
+        first = run_sweep(["gcut"], ["hmm", "ar"], scale=TINY, workers=2,
+                          cache_dir=cache_dir, verbose=False)
+        assert not any(t.cached for t in first.timings.values())
+        clear_cache()
+        second = run_sweep(["gcut"], ["hmm", "ar"], scale=TINY, workers=2,
+                           cache_dir=cache_dir, verbose=False)
+        assert all(t.cached for t in second.timings.values())
+        assert sweep_digest(first.models) == sweep_digest(second.models)
+
+    def test_seed_change_invalidates_cache(self, tmp_path):
+        cache_dir = tmp_path / "cells"
+        run_sweep(["gcut"], ["hmm"], scale=TINY, seeds=[1],
+                  cache_dir=cache_dir, verbose=False)
+        clear_cache()
+        other = run_sweep(["gcut"], ["hmm"], scale=TINY, seeds=[2],
+                          cache_dir=cache_dir, verbose=False)
+        assert not any(t.cached for t in other.timings.values())
+
+    def test_scale_change_invalidates_cache(self, tmp_path):
+        from dataclasses import replace
+
+        cache_dir = tmp_path / "cells"
+        run_sweep(["gcut"], ["hmm"], scale=TINY, seeds=[1],
+                  cache_dir=cache_dir, verbose=False)
+        clear_cache()
+        bigger = replace(TINY, n_samples=TINY.n_samples + 2)
+        other = run_sweep(["gcut"], ["hmm"], scale=bigger, seeds=[1],
+                          cache_dir=cache_dir, verbose=False)
+        assert not any(t.cached for t in other.timings.values())
+
+
+class TestTimings:
+    def test_serial_fast_path_records_timings(self):
+        result = run_sweep(["gcut"], ["hmm"], scale=TINY, verbose=False)
+        timing = result.timings[("gcut", "hmm")]
+        assert timing.wall >= 0 and timing.cpu >= 0 and not timing.failed
+
+    def test_timing_summary_renders(self):
+        result = run_sweep(["gcut"], ["hmm"], scale=TINY, verbose=False)
+        text = timing_summary(result.timings)
+        assert "gcut/hmm" in text and "| ok |" in text
+        assert timing_summary({}) == ""
+
+    def test_parallel_timings_carry_worker_pids(self):
+        import os
+
+        result = run_sweep(["gcut"], ["hmm", "ar"], scale=TINY, workers=2,
+                           verbose=False)
+        pids = {t.pid for t in result.timings.values()}
+        assert os.getpid() not in pids
