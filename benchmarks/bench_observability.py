@@ -1,0 +1,143 @@
+"""Telemetry overhead benchmark: prove the instrumentation is inert.
+
+Two numbers matter:
+
+- **Disabled overhead** -- the cost the instrumentation adds to a run
+  that never asked for telemetry.  The instrumented code paths reduce to
+  a handful of ``None`` checks per iteration; this benchmark measures the
+  no-op cost directly (tight timeit loops over ``telemetry_active`` /
+  ``emit`` / the null instruments), multiplies by the per-iteration call
+  count, and asserts the total stays under 3% of the measured step time.
+- **Enabled overhead** -- the full cost of collecting (event append +
+  flush, grad-norm reads, histogram updates), reported for context; it
+  buys a complete training record, so it has no hard bound.
+
+Writes ``BENCH_observability.json`` and exits non-zero if the disabled
+overhead exceeds the threshold.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+import timeit
+
+import numpy as np
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+sys.path.insert(0, os.path.abspath(SRC))
+
+from repro.core import DoppelGANger  # noqa: E402
+from repro.core.config import DGConfig  # noqa: E402
+from repro.data.simulators import generate_gcut  # noqa: E402
+from repro.observability import TelemetryRun  # noqa: E402
+from repro.observability import events as obs_events  # noqa: E402
+from repro.observability import metrics as obs_metrics  # noqa: E402
+from repro.observability.telemetry import telemetry_active  # noqa: E402
+
+THRESHOLD_PCT = 3.0
+
+# Disabled-path touch points per training iteration (discriminator step +
+# generator step + the gated iteration-report check).
+CHECKS_PER_ITERATION = 3
+
+
+def _config(iterations: int) -> DGConfig:
+    return DGConfig(sample_len=4, batch_size=16, iterations=iterations,
+                    attribute_hidden=(24, 24), minmax_hidden=(24, 24),
+                    feature_rnn_units=24, feature_mlp_hidden=(24,),
+                    discriminator_hidden=(32, 32),
+                    aux_discriminator_hidden=(32, 32), seed=7)
+
+
+def _fit_seconds(dataset, iterations: int, telemetry_dir=None) -> float:
+    model = DoppelGANger(dataset.schema, _config(iterations))
+    start = time.perf_counter()
+    if telemetry_dir is None:
+        model.fit(dataset, log_every=1)
+    else:
+        with TelemetryRun(telemetry_dir, run_id="bench") as run:
+            model.fit(dataset, log_every=1)
+        run.finalize()
+    return time.perf_counter() - start
+
+
+def _noop_ns(fn, number: int = 200_000) -> float:
+    return timeit.timeit(fn, number=number) / number * 1e9
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="minimal sizes for CI")
+    parser.add_argument("--output", default="BENCH_observability.json")
+    args = parser.parse_args(argv)
+
+    iterations = 6 if args.smoke else 30
+    dataset = generate_gcut(80, np.random.default_rng(3), max_length=16)
+
+    assert not telemetry_active(), "benchmark must start with telemetry off"
+    disabled = _fit_seconds(dataset, iterations)
+    with tempfile.TemporaryDirectory() as tmp:
+        enabled = _fit_seconds(dataset, iterations, telemetry_dir=tmp)
+    step_disabled = disabled / iterations
+    step_enabled = enabled / iterations
+
+    noop = {
+        "telemetry_active_ns": _noop_ns(telemetry_active),
+        "emit_ns": _noop_ns(lambda: obs_events.emit("bench.noop")),
+        "counter_inc_ns": _noop_ns(lambda: obs_metrics.counter("c").inc()),
+        "histogram_observe_ns": _noop_ns(
+            lambda: obs_metrics.histogram("h", (0.0,)).observe(1.0)),
+    }
+    # Per-iteration disabled cost: the gating checks, priced at the
+    # costliest no-op measured (pessimistic).
+    worst_ns = max(noop.values())
+    disabled_cost_s = CHECKS_PER_ITERATION * worst_ns * 1e-9
+    disabled_overhead_pct = 100.0 * disabled_cost_s / step_disabled
+    enabled_overhead_pct = 100.0 * (step_enabled - step_disabled) \
+        / step_disabled
+
+    result = {
+        "iterations": iterations,
+        "step_seconds_disabled": step_disabled,
+        "step_seconds_enabled": step_enabled,
+        "noop_costs_ns": noop,
+        "checks_per_iteration": CHECKS_PER_ITERATION,
+        "disabled_overhead_pct": disabled_overhead_pct,
+        "enabled_overhead_pct": enabled_overhead_pct,
+        "threshold_pct": THRESHOLD_PCT,
+        "pass": disabled_overhead_pct < THRESHOLD_PCT,
+        "note": "telemetry is inert: with no log/registry installed the "
+                "instrumentation is a few None checks per iteration, "
+                "bounded below the threshold; parameters are bit-identical "
+                "with telemetry on or off (tests/properties)",
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"step time: disabled {step_disabled * 1e3:.1f} ms, "
+          f"enabled {step_enabled * 1e3:.1f} ms "
+          f"({enabled_overhead_pct:+.1f}%)")
+    print(f"disabled-path overhead: {disabled_overhead_pct:.4f}% "
+          f"(threshold {THRESHOLD_PCT}%) "
+          f"[worst no-op {worst_ns:.0f} ns x {CHECKS_PER_ITERATION}/iter]")
+    print(f"wrote {args.output}")
+    if not result["pass"]:
+        print("FAIL: disabled telemetry overhead exceeds threshold",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

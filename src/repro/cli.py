@@ -76,6 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(NaN/runaway detection with rollback)")
     train.add_argument("--max-retries", type=int, default=3,
                        help="sentinel rollback budget per snapshot window")
+    train.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="collect an event log and metric dump into DIR "
+                            "(deterministic; never changes the model)")
 
     gen = sub.add_parser("generate", help="sample a trained model")
     gen.add_argument("--model", required=True)
@@ -84,6 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--workers", type=int, default=1,
                      help="generation worker processes (any value gives "
                           "bit-identical output)")
+    gen.add_argument("--telemetry", default=None, metavar="DIR",
+                     help="collect an event log and metric dump into DIR")
     gen.add_argument("--out", required=True)
 
     ins = sub.add_parser("inspect", help="print a dataset summary")
@@ -111,6 +116,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--digest-n", type=int, default=16,
                        help="objects generated per cell for the report "
                             "digest")
+    sweep.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="collect per-cell event logs and metric dumps "
+                            "into DIR, merged into worker-count-invariant "
+                            "canonical exports")
+
+    met = sub.add_parser("metrics", help="inspect a telemetry directory "
+                                         "written by --telemetry")
+    met.add_argument("action", choices=("dump", "report"),
+                     help="dump: print metrics.json; report: print "
+                          "report.md")
+    met.add_argument("--dir", required=True,
+                     help="telemetry directory of a finished run")
     return parser
 
 
@@ -158,14 +175,26 @@ def _cmd_train(args) -> int:
     if args.sentinel:
         from repro.resilience import SentinelPolicy
         sentinel = SentinelPolicy(max_retries=args.max_retries)
-    history = model.fit(
-        data, log_every=max(args.iterations // 10, 1),
-        callback=lambda it, h: print(
-            f"iteration {it}: d_loss={h.d_loss[-1]:.3f} "
-            f"g_loss={h.g_loss[-1]:.3f}"),
-        train_state_path=args.checkpoint,
-        checkpoint_every=args.checkpoint_every if args.checkpoint else None,
-        resume_from=resume_from, sentinel=sentinel)
+
+    def fit():
+        return model.fit(
+            data, log_every=max(args.iterations // 10, 1),
+            callback=lambda it, h: print(
+                f"iteration {it}: d_loss={h.d_loss[-1]:.3f} "
+                f"g_loss={h.g_loss[-1]:.3f}"),
+            train_state_path=args.checkpoint,
+            checkpoint_every=(args.checkpoint_every if args.checkpoint
+                              else None),
+            resume_from=resume_from, sentinel=sentinel)
+
+    if args.telemetry:
+        from repro.observability import TelemetryRun
+        with TelemetryRun(args.telemetry, run_id="train") as run:
+            history = fit()
+        paths = run.finalize()
+        print(f"telemetry written to {paths['events']}")
+    else:
+        history = fit()
     model.save(args.out)
     print(f"model parameters written to {args.out} (S={sample_len})")
     if history.rollbacks or history.nan_events or history.runaway_events:
@@ -178,8 +207,18 @@ def _cmd_train(args) -> int:
 
 def _cmd_generate(args) -> int:
     model = DoppelGANger.load(args.model)
-    synthetic = model.generate(args.n, rng=np.random.default_rng(args.seed),
-                               workers=args.workers)
+    if args.telemetry:
+        from repro.observability import TelemetryRun
+        with TelemetryRun(args.telemetry, run_id="generate") as run:
+            synthetic = model.generate(
+                args.n, rng=np.random.default_rng(args.seed),
+                workers=args.workers)
+        paths = run.finalize()
+        print(f"telemetry written to {paths['events']}")
+    else:
+        synthetic = model.generate(
+            args.n, rng=np.random.default_rng(args.seed),
+            workers=args.workers)
     synthetic.save(args.out)
     print(f"wrote {args.n} synthetic objects to {args.out}")
     return 0
@@ -192,7 +231,7 @@ def _cmd_sweep(args) -> int:
 
     result = run_sweep(args.datasets, args.models, scale=SCALES[args.scale],
                        workers=args.workers, seeds=args.seeds,
-                       cache_dir=args.cache_dir)
+                       cache_dir=args.cache_dir, telemetry=args.telemetry)
     summary = timing_summary(result.timings)
     if summary:
         print(summary)
@@ -204,6 +243,35 @@ def _cmd_sweep(args) -> int:
     print(f"trained {len(result.models)} cells, "
           f"{len(result.failures)} failed")
     return 1 if result.failures else 0
+
+
+def _cmd_metrics(args) -> int:
+    """Print the canonical exports of a finished telemetry run."""
+    if args.action == "dump":
+        path = os.path.join(args.dir, "metrics.json")
+        try:
+            with open(path, encoding="utf-8") as handle:
+                sys.stdout.write(handle.read())
+        except FileNotFoundError:
+            print(f"no metrics dump at {path} (run with --telemetry first)",
+                  file=sys.stderr)
+            return 2
+        return 0
+    path = os.path.join(args.dir, "report.md")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            sys.stdout.write(handle.read())
+        return 0
+    except FileNotFoundError:
+        pass
+    # No rendered report: re-render from the canonical event log.
+    from repro.observability import read_events, render_run_report
+    events = read_events(os.path.join(args.dir, "events.jsonl"))
+    if not events:
+        print(f"no telemetry run found in {args.dir}", file=sys.stderr)
+        return 2
+    print(render_run_report(events))
+    return 0
 
 
 def _cmd_inspect(args) -> int:
@@ -229,7 +297,7 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"simulate": _cmd_simulate, "train": _cmd_train,
                 "generate": _cmd_generate, "inspect": _cmd_inspect,
-                "sweep": _cmd_sweep}
+                "sweep": _cmd_sweep, "metrics": _cmd_metrics}
     return handlers[args.command](args)
 
 

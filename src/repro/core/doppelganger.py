@@ -108,7 +108,8 @@ class DoppelGANger:
             callback=None, checkpoint_path=None,
             keep_best_by=None, *, train_state_path=None,
             checkpoint_every: int | None = None, resume_from=None,
-            sentinel=None) -> TrainingHistory:
+            sentinel=None,
+            history_window: int | None = None) -> TrainingHistory:
         """Train on a raw dataset (encoder is fit here too).
 
         Args:
@@ -136,6 +137,8 @@ class DoppelGANger:
             resume_from: A ``train_state_path`` file to resume from.
             sentinel: Divergence sentinel switch/policy (see
                 :meth:`repro.core.trainer.DGTrainer.train`).
+            history_window: Bound on retained loss-trace points (see
+                :class:`~repro.core.trainer.TrainingHistory.max_points`).
         """
         if dataset.schema != self.schema:
             raise ValueError("dataset schema does not match model schema")
@@ -167,7 +170,7 @@ class DoppelGANger:
             callback=wrapped if use_wrapper else None,
             checkpoint_every=checkpoint_every,
             checkpoint_path=train_state_path, resume_from=resume_from,
-            sentinel=sentinel)
+            sentinel=sentinel, history_window=history_window)
         if best["state"] is not None:
             for name, module in self._generator_modules().items():
                 module.load_state_dict(best["state"][name])
@@ -217,6 +220,7 @@ class DoppelGANger:
         batched loop would make.  Sharding across ``workers`` therefore
         cannot change the output (docs/architecture.md).
         """
+        from repro.observability import events as obs_events
         from repro.parallel.generation import (BlockPlan,
                                                generate_encoded_sharded,
                                                plan_blocks)
@@ -238,11 +242,20 @@ class DoppelGANger:
                                              conditioned=cond is not None),
                 cond=cond))
             done += size
+        # The plan is a pure function of (n, batch_size, conditioning),
+        # never of the worker count, so this event is canonical even
+        # though execution below may shard.
+        obs_events.emit("generation.plan", {
+            "n": int(n), "batch_size": int(self.config.batch_size),
+            "blocks": len(blocks),
+            "conditioned": attributes is not None,
+        })
         if workers > 1 and len(blocks) > 1:
             triples = generate_encoded_sharded(self, blocks, workers)
         else:
             triples = [self._generate_block(b.size, b.noise, b.cond)
                        for b in blocks]
+        obs_events.emit("generation.finish", {"n": int(n)})
         empty = (np.zeros((0, self.encoder.attribute_dim)),
                  np.zeros((0, self.encoder.minmax_dim)),
                  np.zeros((0, self.schema.max_length,

@@ -29,7 +29,11 @@ from repro.core.losses import (critic_loss, generator_loss,
                                vanilla_generator_loss)
 from repro.data.encoding import EncodedDataset
 from repro.nn import Adam, DPGradientProcessor, Tensor, grad, no_grad
-from repro.nn.optim import clip_grad_norm
+from repro.nn.optim import clip_grad_norm, grad_norm
+from repro.observability import events as obs_events
+from repro.observability import metrics as obs_metrics
+from repro.observability.metrics import LOSS_BUCKETS, NORM_BUCKETS
+from repro.observability.telemetry import telemetry_active
 from repro.resilience import checkpoint as ckpt
 from repro.resilience import faults
 from repro.resilience.sentinel import (DivergenceDetected,
@@ -45,12 +49,20 @@ class TrainingHistory:
     The counters make instability observable instead of silent: a run that
     finished only because the sentinel rolled back twice reports
     ``rollbacks == 2`` rather than a clean-looking loss trace.
+
+    The loss traces are *windowed*: only the most recent ``max_points``
+    recorded points are kept (``None`` disables the bound), so a
+    million-iteration run cannot grow memory without limit -- the same
+    bounding discipline the harness LRU caches apply.  Trimming is a pure
+    function of the append sequence, so checkpoint/resume closes over the
+    windowed history exactly.  Full traces belong in the event log.
     """
 
     iterations: list[int] = field(default_factory=list)
     d_loss: list[float] = field(default_factory=list)
     g_loss: list[float] = field(default_factory=list)
     wasserstein: list[float] = field(default_factory=list)
+    max_points: int | None = 4096
     # Per-op {"calls", "seconds"} table, populated by train(profile=True).
     op_profile: dict | None = None
 
@@ -62,12 +74,22 @@ class TrainingHistory:
     lr_decays: int = 0
     resumes: int = 0
 
+    def __post_init__(self):
+        if self.max_points is not None and self.max_points < 1:
+            raise ValueError("max_points must be >= 1 or None")
+
     def record(self, iteration: int, d_loss: float, g_loss: float,
                wasserstein: float) -> None:
         self.iterations.append(iteration)
         self.d_loss.append(d_loss)
         self.g_loss.append(g_loss)
         self.wasserstein.append(wasserstein)
+        if self.max_points is not None \
+                and len(self.iterations) > self.max_points:
+            drop = len(self.iterations) - self.max_points
+            for trace in (self.iterations, self.d_loss, self.g_loss,
+                          self.wasserstein):
+                del trace[:drop]
 
     def note_event(self, reason: str) -> None:
         """Tally one sentinel trigger by reason."""
@@ -109,6 +131,10 @@ class DGTrainer:
         self.d_optimizer = Adam(self.discriminator_params,
                                 lr=config.learning_rate,
                                 betas=config.adam_betas)
+        # Last applied global gradient norms, captured only while telemetry
+        # is active (pure reads -- recording them cannot perturb training).
+        self._last_d_grad_norm: float | None = None
+        self._last_g_grad_norm: float | None = None
         self._dp_processor = None
         if config.dp is not None:
             self._dp_processor = DPGradientProcessor(
@@ -203,6 +229,8 @@ class DGTrainer:
         grads = grad(loss, self.discriminator_params, allow_unused=True)
         if self.config.gradient_clip_norm is not None:
             clip_grad_norm(grads, self.config.gradient_clip_norm)
+        if telemetry_active():
+            self._last_d_grad_norm = grad_norm(grads)
         self.d_optimizer.step(grads)
         with no_grad():
             w = self._wasserstein_estimate(real, fake)
@@ -226,6 +254,8 @@ class DGTrainer:
             per_microbatch.append(arrays)
             losses.append(loss.item())
         noised = self._dp_processor.aggregate(per_microbatch)
+        if telemetry_active():
+            self._last_d_grad_norm = grad_norm(noised)
         self.d_optimizer.step(noised)
         with no_grad():
             w = self._wasserstein_estimate(real, fake)
@@ -238,6 +268,8 @@ class DGTrainer:
         grads = grad(loss, self.generator_params, allow_unused=True)
         if self.config.gradient_clip_norm is not None:
             clip_grad_norm(grads, self.config.gradient_clip_norm)
+        if telemetry_active():
+            self._last_g_grad_norm = grad_norm(grads)
         self.g_optimizer.step(grads)
         return loss.item()
 
@@ -253,7 +285,8 @@ class DGTrainer:
               callback=None, profile: bool = False,
               checkpoint_every: int | None = None,
               checkpoint_path=None, resume_from=None,
-              sentinel=None) -> TrainingHistory:
+              sentinel=None,
+              history_window: int | None = None) -> TrainingHistory:
         """Run the alternating loop for ``iterations`` generator updates.
 
         With ``profile=True`` the op-level profiler runs for the whole
@@ -271,6 +304,16 @@ class DGTrainer:
             sentinel: ``True``, a :class:`SentinelPolicy`, or a
                 :class:`DivergenceSentinel`; enables per-step NaN/Inf and
                 runaway-loss detection with rollback + bounded retry.
+            history_window: Override the history's ``max_points`` bound
+                (``None`` keeps the :class:`TrainingHistory` default).
+
+        When an observability event log is installed
+        (:func:`repro.observability.capture`), the loop emits
+        ``train.start``, per-iteration ``train.iteration`` (losses, grad
+        norms, learning rates), ``sentinel.rollback``, ``checkpoint.save``
+        and ``train.finish`` events, and updates the metrics registry.
+        Telemetry is *inert*: it reads scalars the loop already computes,
+        so trained parameters are bit-identical with telemetry on or off.
         """
         iterations = iterations or self.config.iterations
         if iterations < 1:
@@ -292,7 +335,8 @@ class DGTrainer:
                                  "checkpoint_path")
         sentinel = DivergenceSentinel.coerce(sentinel)
 
-        history = TrainingHistory()
+        history = TrainingHistory() if history_window is None \
+            else TrainingHistory(max_points=history_window)
         # Exposed immediately (not only on return) so harness code can
         # inspect partial progress after a failure.
         self.history = history
@@ -301,6 +345,14 @@ class DGTrainer:
             start_iteration = ckpt.load_checkpoint(self, resume_from,
                                                    history)
             history.resumes += 1
+        obs_events.emit("train.start", {
+            "iterations": int(iterations),
+            "start_iteration": int(start_iteration),
+            "batch_size": int(self.config.batch_size),
+            "discriminator_steps": int(self.config.discriminator_steps),
+            "seed": int(self.config.seed),
+            "sentinel": sentinel is not None,
+        })
         if profile:
             with nn_profiler.profile() as prof:
                 self._train_loop(data, iterations, log_every, callback,
@@ -308,10 +360,20 @@ class DGTrainer:
                                  checkpoint_every, checkpoint_path,
                                  sentinel)
             history.op_profile = prof.stats()
+            if obs_events.enabled():
+                prof.publish(obs_events.emit)
         else:
             self._train_loop(data, iterations, log_every, callback,
                              history, start_iteration, checkpoint_every,
                              checkpoint_path, sentinel)
+        obs_events.emit("train.finish", {
+            "iterations": int(iterations),
+            "rollbacks": history.rollbacks,
+            "nan_events": history.nan_events,
+            "runaway_events": history.runaway_events,
+            "step_faults": history.step_faults,
+            "lr_decays": history.lr_decays,
+        })
         return history
 
     def _train_loop(self, data: EncodedDataset, iterations: int,
@@ -351,9 +413,11 @@ class DGTrainer:
                         f"retry budget ({sentinel.policy.max_retries}) is "
                         f"exhausted: {exc}", iteration=it,
                         rollbacks=history.rollbacks) from exc
+                failed_at = it
                 it = ckpt.restore_trainer(self, last_good, history)
                 retries += 1
                 history.rollbacks += 1
+                factor = 1.0
                 if sentinel.policy.lr_decay < 1.0:
                     # Restore reset the lr to the snapshot's value, so
                     # compound the decay over the retries taken since.
@@ -366,7 +430,46 @@ class DGTrainer:
                     # retry does not replay the exact failing batch.
                     self.rng = np.random.default_rng(
                         (self.config.seed, 0x5EED, history.rollbacks))
+                # Machine-readable rollback record: previously this was
+                # only visible as a counter bump on TrainingHistory.
+                obs_events.emit("sentinel.rollback", {
+                    "iteration": failed_at,
+                    "restored_iteration": it,
+                    "trigger": reason,
+                    "retries": retries,
+                    "lr_decay": factor,
+                    "g_lr": float(self.g_optimizer.lr),
+                    "d_lr": float(self.d_optimizer.lr),
+                    "reseeded": bool(sentinel.policy.reseed),
+                })
+                obs_metrics.counter("train.rollbacks").inc()
                 continue
+            if telemetry_active():
+                obs_events.emit("train.iteration", {
+                    "iteration": it,
+                    "d_loss": float(d_loss),
+                    "g_loss": float(g_loss),
+                    "wasserstein": float(w),
+                    "d_grad_norm": self._last_d_grad_norm,
+                    "g_grad_norm": self._last_g_grad_norm,
+                    "g_lr": float(self.g_optimizer.lr),
+                    "d_lr": float(self.d_optimizer.lr),
+                })
+                obs_metrics.counter("train.iterations").inc()
+                obs_metrics.histogram("train.d_loss",
+                                      LOSS_BUCKETS).observe(d_loss)
+                obs_metrics.histogram("train.g_loss",
+                                      LOSS_BUCKETS).observe(g_loss)
+                if self._last_d_grad_norm is not None:
+                    obs_metrics.histogram(
+                        "train.d_grad_norm",
+                        NORM_BUCKETS).observe(self._last_d_grad_norm)
+                if self._last_g_grad_norm is not None:
+                    obs_metrics.histogram(
+                        "train.g_grad_norm",
+                        NORM_BUCKETS).observe(self._last_g_grad_norm)
+                obs_metrics.gauge("train.g_lr").set(self.g_optimizer.lr)
+                obs_metrics.gauge("train.d_lr").set(self.d_optimizer.lr)
             if it % log_every == 0 or it == iterations - 1:
                 history.record(it, d_loss, g_loss, w)
                 if callback is not None:

@@ -227,9 +227,34 @@ class SweepResult:
         return [(f.dataset, f.model) for f in self.failures]
 
 
+def _run_sweep_cells(cells, scale, config_overrides: dict, workers: int,
+                     cache_dir, isolate: bool,
+                     telemetry=None) -> SweepResult:
+    """Execute built cells through the parallel layer into a SweepResult."""
+    from repro.parallel.sweep import run_cells
+
+    result = SweepResult()
+    outcomes = run_cells(cells, scale, config_overrides, workers=workers,
+                         cache_dir=cache_dir, telemetry=telemetry)
+    for outcome in outcomes:
+        result.timings[outcome.label] = outcome.timing
+        if outcome.failure is not None:
+            if not isolate:
+                raise RuntimeError(
+                    f"sweep cell {outcome.label} failed: "
+                    f"{outcome.failure.exception_type}: "
+                    f"{outcome.failure.message}")
+            result.failures.append(outcome.failure)
+            _FAILURES.append(outcome.failure)
+        else:
+            result.models[outcome.label] = outcome.model
+    return result
+
+
 def run_sweep(dataset_names, model_names, scale: BenchScale = BENCH,
               isolate: bool = True, verbose: bool = True, workers: int = 1,
-              seeds=None, cache_dir=None, **config_overrides) -> SweepResult:
+              seeds=None, cache_dir=None, telemetry=None,
+              **config_overrides) -> SweepResult:
     """Train every (dataset, model[, seed]) cell, isolating failures.
 
     With ``isolate=True`` (the default) a model whose ``fit`` raises is
@@ -249,8 +274,45 @@ def run_sweep(dataset_names, model_names, scale: BenchScale = BENCH,
         cache_dir: Optional directory for the on-disk result cache keyed
             by (config hash, dataset fingerprint, seed); cached cells are
             skipped and marked ``cached`` in the timing table.
+        telemetry: Optional directory for a telemetry run.  Workers write
+            per-cell event/metric files and the parent merges them into
+            ``events.jsonl`` / ``metrics.json`` / ``report.md`` -- all
+            deterministic and worker-count invariant (see
+            docs/observability.md).  Forces the cell execution path so
+            serial and parallel sweeps log identically; note that cells
+            already memoised in this process's harness cache skip
+            training (and its events), so start from a fresh process or
+            :func:`clear_cache` for byte-comparable logs.
     """
     from repro.parallel.sweep import build_cells, run_cells
+
+    if telemetry is not None:
+        from repro.observability import TelemetryRun, emit
+
+        with TelemetryRun(telemetry, run_id="sweep") as run:
+            emit("sweep.start", {
+                "datasets": list(dataset_names),
+                "models": list(model_names),
+                "seeds": None if seeds is None
+                else int(seeds) if isinstance(seeds, (int, np.integer))
+                else [int(s) for s in seeds],
+                "cached": cache_dir is not None,
+            }, volatile={"workers": workers})
+            cells = build_cells(dataset_names, model_names, seeds,
+                                scale.seed)
+            result = _run_sweep_cells(
+                cells, scale, config_overrides, workers, cache_dir,
+                isolate, telemetry=(run.root, run.run_id))
+            emit("sweep.finish", {"trained": len(result.models),
+                                  "failed": len(result.failures)})
+        run.finalize(cell_labels=[c.label for c in cells])
+        if verbose and result.failures:
+            print_table(
+                "Sweep failures",
+                ["dataset", "model", "exception", "iteration", "retries",
+                 "message"],
+                [f.row() for f in result.failures])
+        return result
 
     result = SweepResult()
     use_cells = workers > 1 or seeds is not None or cache_dir is not None
@@ -285,20 +347,8 @@ def run_sweep(dataset_names, model_names, scale: BenchScale = BENCH,
                     failed=failed, pid=os.getpid())
     else:
         cells = build_cells(dataset_names, model_names, seeds, scale.seed)
-        outcomes = run_cells(cells, scale, config_overrides,
-                             workers=workers, cache_dir=cache_dir)
-        for outcome in outcomes:
-            result.timings[outcome.label] = outcome.timing
-            if outcome.failure is not None:
-                if not isolate:
-                    raise RuntimeError(
-                        f"sweep cell {outcome.label} failed: "
-                        f"{outcome.failure.exception_type}: "
-                        f"{outcome.failure.message}")
-                result.failures.append(outcome.failure)
-                _FAILURES.append(outcome.failure)
-            else:
-                result.models[outcome.label] = outcome.model
+        result = _run_sweep_cells(cells, scale, config_overrides, workers,
+                                  cache_dir, isolate)
     if verbose and result.failures:
         print_table(
             "Sweep failures",

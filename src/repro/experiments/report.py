@@ -26,11 +26,12 @@ from repro.metrics import (autocorrelation_mse, average_autocorrelation,
                            categorical_jsd, cross_correlation_error,
                            diversity_score, memorization_ratio,
                            wasserstein1)
+from repro.observability.report import render_run_report
 from repro.resilience.failures import FailureRecord
 
 __all__ = ["FidelityReport", "fidelity_report", "render_markdown",
            "failure_summary", "timing_summary", "sweep_digest",
-           "render_sweep_report"]
+           "render_sweep_report", "render_run_report"]
 
 # Thresholds used for the pass/warn verdicts in the rendered report.
 _DIVERSITY_COLLAPSE_RATIO = 0.3

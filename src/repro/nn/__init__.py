@@ -17,7 +17,8 @@ from repro.nn.dp import (DPGradientProcessor, compute_epsilon, compute_rdp,
 from repro.nn.kernels import fused_enabled, fused_kernels, set_fused
 from repro.nn.layers import (LSTM, MLP, GRUCell, LayerNorm, Linear,
                              LSTMCell, Module, Sequential)
-from repro.nn.optim import SGD, Adam, Optimizer, StepLR, clip_grad_norm
+from repro.nn.optim import (SGD, Adam, Optimizer, StepLR,
+                            clip_grad_norm, grad_norm)
 from repro.nn.profiler import OpProfiler, profile
 from repro.nn.serialization import load_module, save_module
 from repro.nn.tensor import Parameter, Tensor, astensor, grad, no_grad
@@ -30,6 +31,7 @@ __all__ = [
     "Module", "Linear", "MLP", "LSTMCell", "LSTM", "GRUCell",
     "LayerNorm", "Sequential",
     "Optimizer", "SGD", "Adam", "StepLR", "clip_grad_norm",
+    "grad_norm",
     "DPGradientProcessor", "compute_rdp", "rdp_to_epsilon",
     "compute_epsilon", "noise_multiplier_for_epsilon",
     "save_module", "load_module",

@@ -14,7 +14,20 @@ import numpy as np
 
 from repro.nn.tensor import Parameter, Tensor
 
-__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR"]
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "grad_norm",
+           "StepLR"]
+
+
+def grad_norm(grads) -> float:
+    """Global L2 norm of a gradient list, without modifying anything.
+
+    The observability layer's grad-norm hook: accepts Tensors or arrays
+    (None entries skipped), reads but never scales, so recording the norm
+    cannot perturb training.
+    """
+    arrays = [g.data if isinstance(g, Tensor) else g
+              for g in grads if g is not None]
+    return float(np.sqrt(sum((a * a).sum() for a in arrays)))
 
 
 def clip_grad_norm(grads, max_norm: float) -> float:

@@ -59,6 +59,23 @@ class OpProfiler:
     def total_calls(self) -> int:
         return sum(self._calls.values())
 
+    def publish(self, emit) -> int:
+        """Attach the profile to an event log via ``emit(kind, payload,
+        volatile=...)`` (e.g. :func:`repro.observability.emit`).
+
+        Call *counts* are deterministic for a fixed config+seed, so they
+        form the event payload; wall-clock seconds are run-dependent and
+        travel in the volatile side-channel.  Ops are emitted in name
+        order so the event stream is reproducible.  Returns the number of
+        events emitted.
+        """
+        emitted = 0
+        for name in sorted(self._calls):
+            emit("profile.op", {"op": name, "calls": self._calls[name]},
+                 volatile={"seconds": self._seconds[name]})
+            emitted += 1
+        return emitted
+
     def summary(self, top: int | None = None) -> str:
         """An aligned text table of the heaviest ops."""
         rows = list(self.stats().items())

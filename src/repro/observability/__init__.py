@@ -1,0 +1,52 @@
+"""Unified observability layer: metrics registry, event log, exporters.
+
+The paper's workflow is comparing many GAN variants and diagnosing
+architecture-level failures (mode collapse without auto-normalization,
+divergence under DP-SGD).  Those diagnoses need *data*, not reruns with
+print statements, so every production layer reports into this package:
+
+- :mod:`repro.observability.metrics` -- process-local counters, gauges,
+  and fixed-bucket histograms, no-ops when disabled;
+- :mod:`repro.observability.events` -- a run-scoped JSONL event log with
+  monotonic sequence numbers and a deterministic canonical export;
+- :mod:`repro.observability.telemetry` -- the run-directory layout and
+  cross-process aggregation (workers write per-cell files, the parent
+  merges them in cell order);
+- :mod:`repro.observability.report` -- the deterministic markdown
+  dashboard (:func:`render_run_report`).
+
+Two invariants every emitter must preserve (enforced by
+``tests/properties``):
+
+1. **Inert**: collecting telemetry never changes what is computed --
+   trained parameters are bit-identical with telemetry on or off.
+2. **Deterministic**: the canonical exports are pure functions of
+   (config, seed, data) and invariant to the worker count.
+"""
+
+from repro.observability.events import (Event, EventLog, capture,
+                                        emit, merge_event_logs,
+                                        read_events, write_canonical)
+from repro.observability.events import enabled as events_enabled
+from repro.observability.metrics import (LOSS_BUCKETS, NORM_BUCKETS,
+                                         SECONDS_BUCKETS, Counter, Gauge,
+                                         Histogram, MetricsRegistry,
+                                         counter, gauge, histogram,
+                                         merge_dumps, use)
+from repro.observability.metrics import enabled as metrics_enabled
+from repro.observability.report import render_run_report
+from repro.observability.telemetry import (TelemetryRun, cell_log_path,
+                                           cell_metrics_path, cell_slug,
+                                           telemetry_active,
+                                           write_cell_metrics)
+
+__all__ = [
+    "Event", "EventLog", "capture", "emit", "events_enabled",
+    "merge_event_logs", "read_events", "write_canonical",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "counter",
+    "gauge", "histogram", "merge_dumps", "use", "metrics_enabled",
+    "LOSS_BUCKETS", "NORM_BUCKETS", "SECONDS_BUCKETS",
+    "render_run_report",
+    "TelemetryRun", "cell_log_path", "cell_metrics_path", "cell_slug",
+    "telemetry_active", "write_cell_metrics",
+]

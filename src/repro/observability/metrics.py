@@ -1,0 +1,290 @@
+"""Process-local metrics registry: counters, gauges, fixed-bucket histograms.
+
+Diagnosing GAN training failures (mode collapse, DP-SGD divergence) means
+comparing *numbers* across many runs, and those numbers must be cheap to
+collect and deterministic to export.  The registry here is deliberately
+boring:
+
+- **Counters** accumulate exact integers (Python ints never overflow and
+  never drift the way repeated float adds do; histograms use ``int64``
+  bucket counts for the same reason).
+- **Gauges** hold the latest value of a scalar (e.g. the current learning
+  rate).
+- **Histograms** have *fixed* bucket edges declared at creation, with
+  left-closed buckets (a value equal to an edge lands in the bucket that
+  *starts* at that edge), so two runs observing the same values produce
+  byte-identical dumps -- no adaptive binning.
+
+Instrumented code never talks to a registry directly; it calls the
+module-level accessors (:func:`counter`, :func:`gauge`, :func:`histogram`)
+which resolve against the *current* registry.  When no registry is
+installed (the default) the accessors return shared no-op instruments, so
+disabled telemetry costs one ``None`` check per instrument fetch.
+
+A registry is installed for a scope with :func:`use`::
+
+    registry = MetricsRegistry()
+    with use(registry):
+        train(...)
+    print(registry.dump())
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "use", "current", "enabled", "counter", "gauge", "histogram",
+           "LOSS_BUCKETS", "NORM_BUCKETS", "SECONDS_BUCKETS"]
+
+# Standard fixed edge sets used by the built-in instrumentation.  Fixed and
+# shared so every run's histogram dumps line up bucket-for-bucket.
+LOSS_BUCKETS = (-100.0, -10.0, -1.0, -0.1, 0.0, 0.1, 1.0, 10.0, 100.0)
+NORM_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+SECONDS_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+class Counter:
+    """A monotonically increasing exact integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (a non-negative integer; floats are rejected because
+        repeated float addition drifts past 2**53)."""
+        if not isinstance(n, (int, np.integer)):
+            raise TypeError(f"counter increment must be an integer, "
+                            f"got {type(n).__name__}")
+        if n < 0:
+            raise ValueError("counter increments must be >= 0")
+        self.value += int(n)
+
+
+class Gauge:
+    """The most recent value of a scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-edge histogram with left-closed buckets and int64 counts.
+
+    ``edges`` (strictly increasing) split the real line into
+    ``len(edges) + 1`` buckets::
+
+        (-inf, e0) [e0, e1) [e1, e2) ... [e_last, +inf)
+
+    A value exactly equal to an edge is counted in the bucket that starts
+    at that edge (left-closed), so boundary placement is deterministic.
+    """
+
+    __slots__ = ("name", "edges", "counts", "total")
+
+    def __init__(self, name: str, edges):
+        edges = tuple(float(e) for e in edges)
+        if len(edges) < 1:
+            raise ValueError("histogram needs at least one edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"histogram edges must be strictly "
+                             f"increasing, got {edges}")
+        self.name = name
+        self.edges = edges
+        self.counts = np.zeros(len(edges) + 1, dtype=np.int64)
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # side="right" counts edges <= value, which is exactly the
+        # left-closed bucket index: value == edges[i] -> bucket i + 1.
+        self.counts[int(np.searchsorted(self.edges, value,
+                                        side="right"))] += 1
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    def bucket_of(self, value: float) -> int:
+        """The bucket index ``observe(value)`` would increment."""
+        return int(np.searchsorted(self.edges, float(value), side="right"))
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments for one telemetry scope (process or sweep cell)."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument creation -------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str, edges) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, edges)
+        elif inst.edges != tuple(float(e) for e in edges):
+            raise ValueError(
+                f"histogram {name!r} already registered with edges "
+                f"{inst.edges}, got {tuple(edges)}")
+        return inst
+
+    # -- export --------------------------------------------------------------
+    def dump(self) -> dict:
+        """Deterministic plain-dict snapshot (names sorted, JSON-safe)."""
+        return {
+            "counters": {name: self._counters[name].value
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name].value
+                       for name in sorted(self._gauges)},
+            "histograms": {
+                name: {
+                    "edges": list(h.edges),
+                    "counts": [int(c) for c in h.counts],
+                    "count": h.count,
+                    "total": h.total,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def merge_dumps(dumps: list[dict]) -> dict:
+    """Sum counters/histograms across dumps; gauges take the last value.
+
+    Used by the cross-process aggregation step: per-cell registries are
+    dumped where they ran and merged in cell order, so the merged dump is
+    worker-count invariant.
+    """
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for dump in dumps:
+        for name, value in dump.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) \
+                + int(value)
+        for name, value in dump.get("gauges", {}).items():
+            merged["gauges"][name] = value
+        for name, hist in dump.get("histograms", {}).items():
+            seen = merged["histograms"].get(name)
+            if seen is None:
+                merged["histograms"][name] = {
+                    "edges": list(hist["edges"]),
+                    "counts": [int(c) for c in hist["counts"]],
+                    "count": int(hist["count"]),
+                    "total": float(hist["total"]),
+                }
+                continue
+            if seen["edges"] != list(hist["edges"]):
+                raise ValueError(f"histogram {name!r} has mismatched "
+                                 f"edges across dumps")
+            seen["counts"] = [a + int(b) for a, b in
+                              zip(seen["counts"], hist["counts"])]
+            seen["count"] += int(hist["count"])
+            seen["total"] += float(hist["total"])
+    for section in ("counters", "gauges", "histograms"):
+        merged[section] = dict(sorted(merged[section].items()))
+    return merged
+
+
+__all__.append("merge_dumps")
+
+# -- current registry --------------------------------------------------------
+
+_CURRENT: MetricsRegistry | None = None
+
+
+def current() -> MetricsRegistry | None:
+    """The installed registry, or None when metrics are disabled."""
+    return _CURRENT
+
+
+def enabled() -> bool:
+    """Whether a registry is currently collecting."""
+    return _CURRENT is not None
+
+
+@contextlib.contextmanager
+def use(registry: MetricsRegistry | None):
+    """Install ``registry`` as the collection target for the block."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = registry
+    try:
+        yield registry
+    finally:
+        _CURRENT = previous
+
+
+def counter(name: str):
+    """The named counter of the current registry (no-op when disabled)."""
+    if _CURRENT is None:
+        return _NULL_COUNTER
+    return _CURRENT.counter(name)
+
+
+def gauge(name: str):
+    """The named gauge of the current registry (no-op when disabled)."""
+    if _CURRENT is None:
+        return _NULL_GAUGE
+    return _CURRENT.gauge(name)
+
+
+def histogram(name: str, edges):
+    """The named histogram of the current registry (no-op when disabled)."""
+    if _CURRENT is None:
+        return _NULL_HISTOGRAM
+    return _CURRENT.histogram(name, edges)

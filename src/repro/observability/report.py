@@ -1,0 +1,125 @@
+"""Deterministic markdown dashboard for a telemetry run.
+
+:func:`render_run_report` is the observability sibling of
+:func:`repro.experiments.report.render_sweep_report`: a pure function of
+the canonical event list and the merged metric dump, with no timestamps,
+timings, or process ids, so a serial and a 2-worker run of the same sweep
+render byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _TallyCounter
+
+__all__ = ["render_run_report"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_run_report(events, metrics: dict | None = None,
+                      title: str = "Run report") -> str:
+    """Render canonical events + merged metrics as a markdown dashboard.
+
+    Sections (each omitted when empty): event counts by kind, per-cell
+    training summaries, sentinel interventions, cache behaviour, and the
+    metric registry (counters, gauges, histograms).
+    """
+    events = list(events)
+    metrics = metrics or {}
+    lines = [f"# {title}", "", f"- events: {len(events)}"]
+    cells = sorted({e.cell for e in events if e.cell is not None})
+    if cells:
+        lines.append(f"- cells: {len(cells)}")
+    lines.append("")
+
+    kinds = _TallyCounter(e.kind for e in events)
+    if kinds:
+        lines += ["## Event counts", "", "| kind | count |", "|---|---|"]
+        lines += [f"| {kind} | {kinds[kind]} |" for kind in sorted(kinds)]
+        lines.append("")
+
+    # Per-cell (or run-level) training summaries from train.* events.
+    groups = sorted({e.cell for e in events
+                     if e.kind.startswith("train.")},
+                    key=lambda c: (c is not None, c))
+    rows = []
+    for cell in groups:
+        steps = [e for e in events
+                 if e.cell == cell and e.kind == "train.iteration"]
+        finishes = [e for e in events
+                    if e.cell == cell and e.kind == "train.finish"]
+        rollbacks = sum(1 for e in events
+                        if e.cell == cell and e.kind == "sentinel.rollback")
+        if not steps and not finishes:
+            continue
+        last = steps[-1].payload if steps else {}
+        rows.append([cell if cell is not None else "(run)", len(steps),
+                     _fmt(last.get("d_loss", "-")),
+                     _fmt(last.get("g_loss", "-")),
+                     _fmt(last.get("wasserstein", "-")), rollbacks])
+    if rows:
+        lines += ["## Training", "",
+                  "| cell | iterations | final d_loss | final g_loss | "
+                  "final wasserstein | rollbacks |",
+                  "|---|---|---|---|---|---|"]
+        lines += ["| " + " | ".join(str(v) for v in row) + " |"
+                  for row in rows]
+        lines.append("")
+
+    sentinel = [e for e in events if e.kind == "sentinel.rollback"]
+    if sentinel:
+        lines += ["## Sentinel interventions", "",
+                  "| cell | iteration | trigger | restored to | "
+                  "lr decay |",
+                  "|---|---|---|---|---|"]
+        for e in sentinel:
+            p = e.payload
+            lines.append(
+                f"| {e.cell if e.cell is not None else '(run)'} | "
+                f"{p.get('iteration', '-')} | {p.get('trigger', '-')} | "
+                f"{p.get('restored_iteration', '-')} | "
+                f"{_fmt(p.get('lr_decay', '-'))} |")
+        lines.append("")
+
+    hits = sum(1 for e in events if e.kind == "cache.hit")
+    misses = sum(1 for e in events if e.kind == "cache.miss")
+    if hits or misses:
+        lines += ["## Sweep cache", "",
+                  f"- hits: {hits}", f"- misses: {misses}", ""]
+
+    failures = [e for e in events if e.kind == "cell.failure"]
+    if failures:
+        lines += ["## Cell failures", "",
+                  "| cell | exception | iteration | retries |",
+                  "|---|---|---|---|"]
+        for e in failures:
+            p = e.payload
+            lines.append(f"| {e.cell} | {p.get('exception_type', '-')} | "
+                         f"{p.get('iteration', '-')} | "
+                         f"{p.get('retries', 0)} |")
+        lines.append("")
+
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    if counters or gauges:
+        lines += ["## Metrics", "", "| metric | value |", "|---|---|"]
+        lines += [f"| {name} | {counters[name]} |"
+                  for name in sorted(counters)]
+        lines += [f"| {name} | {_fmt(gauges[name])} |"
+                  for name in sorted(gauges)]
+        lines.append("")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines += ["## Histograms", "",
+                  "| histogram | count | total | buckets |", "|---|---|---|---|"]
+        for name in sorted(histograms):
+            h = histograms[name]
+            buckets = " ".join(str(int(c)) for c in h["counts"])
+            lines.append(f"| {name} | {h['count']} | {_fmt(h['total'])} | "
+                         f"{buckets} |")
+        lines.append("")
+    return "\n".join(lines)

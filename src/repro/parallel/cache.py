@@ -25,6 +25,8 @@ import json
 import os
 import pickle
 
+from repro.observability import events as obs_events
+
 __all__ = ["SweepCache", "dataset_fingerprint", "config_fingerprint",
            "cell_cache_key"]
 
@@ -95,6 +97,10 @@ class SweepCache:
             return None
         except Exception:
             # A truncated or unpicklable entry must never poison a sweep.
+            # Corruption reflects a previous run's crash, not this run's
+            # config+seed, so the event is transient (raw stream only).
+            obs_events.emit("cache.corrupt", {}, volatile={"key": key},
+                            transient=True)
             try:
                 os.remove(path)
             except OSError:

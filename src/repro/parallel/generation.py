@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability import events as obs_events
 from repro.parallel.pool import ProcessPool, effective_workers
 
 __all__ = ["BlockPlan", "plan_blocks", "generate_encoded_sharded"]
@@ -69,6 +70,14 @@ def generate_encoded_sharded(model, blocks: list[BlockPlan],
                                                          dtype=object),
                                               workers) if len(g)]
     blob = model.save_bytes()
+    # Shard layout depends on the requested worker count, so the event is
+    # transient: it appears in the raw stream for debugging but never in
+    # the canonical log, which must be worker-count invariant.
+    obs_events.emit("generation.shard",
+                    {}, volatile={"workers": workers,
+                                  "shards": [len(g) for g in groups],
+                                  "payload_bytes": len(blob)},
+                    transient=True)
     tasks = [(blob, group) for group in groups]
     grouped = ProcessPool(workers).map(_generate_shard, tasks)
     return [triple for group in grouped for triple in group]

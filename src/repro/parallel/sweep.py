@@ -22,6 +22,14 @@ Failures cross the process boundary as pickling-safe
 cell outcome -- a diverging model in a worker never aborts the sweep and
 never surfaces as an unpicklable traceback.  Every outcome also carries a
 :class:`CellTiming` with wall/CPU seconds measured inside the worker.
+
+Telemetry rides the same plumbing: when ``run_cells`` receives a
+``telemetry=(root, run_id)`` spec, each worker writes its cell's events
+and metric dump to per-cell files under ``root/cells/`` (in whichever
+process it runs), and the parent emits cache and dispatch events into its
+own stream.  The parent's :class:`~repro.observability.TelemetryRun`
+merges everything in cell-enumeration order, so the canonical log is
+worker-count invariant.
 """
 
 from __future__ import annotations
@@ -33,13 +41,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability import events as obs_events
+from repro.observability import metrics as obs_metrics
+from repro.observability.telemetry import (cell_log_path,
+                                           write_cell_metrics)
 from repro.parallel.cache import (SweepCache, cell_cache_key,
                                   config_fingerprint, dataset_fingerprint)
 from repro.parallel.pool import ProcessPool
 from repro.resilience.failures import FailureRecord
 
 __all__ = ["SweepCell", "CellTiming", "CellOutcome", "build_cells",
-           "run_cells"]
+           "run_cells", "cell_id"]
+
+
+def cell_id(label) -> str:
+    """Canonical string id of a cell label (``dataset/model[/replica]``)."""
+    if isinstance(label, tuple):
+        return "/".join(str(part) for part in label)
+    return str(label)
 
 
 @dataclass(frozen=True)
@@ -138,10 +157,13 @@ def _cell_config(cell: SweepCell, scale, config_overrides: dict) -> dict:
 
 def _run_cell(payload) -> CellOutcome:
     """Worker entry point: train one cell, catching failures structurally."""
-    cell, scale, config_overrides = payload
+    cell, scale, config_overrides, telemetry = payload
     from repro.experiments import harness
     from repro.resilience.faults import SimulatedKill
 
+    if telemetry is not None:
+        return _run_cell_with_telemetry(cell, scale, config_overrides,
+                                        telemetry)
     wall0, cpu0 = time.perf_counter(), time.process_time()
     model, failure = None, None
     try:
@@ -164,13 +186,59 @@ def _run_cell(payload) -> CellOutcome:
                        timing=timing)
 
 
+def _run_cell_with_telemetry(cell, scale, config_overrides,
+                             telemetry) -> CellOutcome:
+    """Run one cell inside its own event-log/metrics scope.
+
+    The cell's stream goes to ``root/cells/<label>.jsonl`` and its metric
+    dump to ``root/cells/<label>.metrics.json`` -- written wherever the
+    cell runs (worker subprocess or inline), then merged by the parent.
+    A fresh registry per cell keeps the dump independent of which other
+    cells shared the process.
+    """
+    root, run_id = telemetry
+    label_id = cell_id(cell.label)
+    registry = obs_metrics.MetricsRegistry()
+    with obs_events.EventLog(cell_log_path(root, cell.label),
+                             run_id=run_id, cell=label_id) as log, \
+            obs_events.capture(log), obs_metrics.use(registry):
+        log.emit("cell.start", {"dataset": cell.dataset,
+                                "model": cell.model,
+                                "seed": cell.seed})
+        wall0, cpu0 = time.perf_counter(), time.process_time()
+        outcome = _run_cell((cell, scale, config_overrides, None))
+        timing = outcome.timing
+        if outcome.failure is not None:
+            f = outcome.failure
+            log.emit("cell.failure",
+                     {"dataset": f.dataset, "model": f.model,
+                      "exception_type": f.exception_type,
+                      "message": f.message, "iteration": f.iteration,
+                      "retries": f.retries},
+                     volatile={"elapsed": f.elapsed})
+        log.emit("cell.finish",
+                 {"status": "failed" if outcome.failure is not None
+                  else "trained"},
+                 volatile={"wall": time.perf_counter() - wall0,
+                           "cpu": time.process_time() - cpu0,
+                           "pid": os.getpid()})
+    write_cell_metrics(root, cell.label, registry)
+    return outcome
+
+
 def run_cells(cells: list[SweepCell], scale, config_overrides: dict,
-              workers: int = 1, cache_dir=None) -> list[CellOutcome]:
+              workers: int = 1, cache_dir=None,
+              telemetry=None) -> list[CellOutcome]:
     """Execute cells (cache, then pool), returning outcomes in cell order.
 
     Cache hits are resolved in the calling process and never dispatched;
     fresh results are written back to the cache.  ``workers=1`` runs every
     cell inline through the identical worker code path.
+
+    Args:
+        telemetry: Optional ``(root, run_id)`` spec: workers write
+            per-cell event/metric files under ``root/cells/`` and the
+            parent emits cache hit/miss events into its current log.
     """
     cache = SweepCache(cache_dir) if cache_dir is not None else None
     keys: dict[tuple, str] = {}
@@ -192,19 +260,24 @@ def run_cells(cells: list[SweepCell], scale, config_overrides: dict,
             wall0 = time.perf_counter()
             model = cache.get(key)
             if model is not None:
+                obs_events.emit("cache.hit", {"cell": cell_id(cell.label)})
                 outcomes[cell.label] = CellOutcome(
                     label=cell.label, model=model, failure=None,
                     timing=CellTiming(wall=time.perf_counter() - wall0,
                                       cpu=0.0, cached=True,
                                       pid=os.getpid()))
             else:
+                obs_events.emit("cache.miss", {"cell": cell_id(cell.label)})
                 pending.append(cell)
     else:
         pending = list(cells)
 
-    payloads = [(cell, scale, config_overrides) for cell in pending]
+    payloads = [(cell, scale, config_overrides, telemetry)
+                for cell in pending]
     for outcome in ProcessPool(workers).map(_run_cell, payloads):
         outcomes[outcome.label] = outcome
         if cache is not None and outcome.model is not None:
             cache.put(keys[outcome.label], outcome.model)
+            obs_events.emit("cache.store",
+                            {"cell": cell_id(outcome.label)})
     return [outcomes[cell.label] for cell in cells]

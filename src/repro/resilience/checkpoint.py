@@ -22,6 +22,7 @@ import copy
 import numpy as np
 
 from repro.nn.serialization import load_training_state, save_training_state
+from repro.observability import events as obs_events
 
 __all__ = ["trainer_modules", "trainer_optimizers", "snapshot_trainer",
            "restore_trainer", "save_checkpoint", "load_checkpoint",
@@ -113,6 +114,10 @@ def save_checkpoint(trainer, path, iteration: int, history) -> None:
                         optimizers=trainer_optimizers(trainer),
                         rng=trainer.rng, iteration=iteration,
                         extra_arrays=extra_arrays, extra_meta=extra_meta)
+    # The destination path varies run-to-run (tmp dirs), so it rides in
+    # the volatile side-channel; the iteration is the deterministic fact.
+    obs_events.emit("checkpoint.save", {"iteration": int(iteration)},
+                    volatile={"path": str(path)})
 
 
 def load_checkpoint(trainer, path, history) -> int:
@@ -149,4 +154,9 @@ def load_checkpoint(trainer, path, history) -> int:
     for field, value in state.extra_meta.get("counters", {}).items():
         if field in _COUNTER_FIELDS:
             setattr(history, field, int(value))
+    # Resuming is an execution-mode fact (a fresh run has no such event),
+    # so it is transient: it never appears in the canonical log, keeping
+    # kill/resume runs byte-identical to uninterrupted ones.
+    obs_events.emit("checkpoint.load", {"iteration": int(state.iteration)},
+                    volatile={"path": str(path)}, transient=True)
     return state.iteration

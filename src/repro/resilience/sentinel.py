@@ -14,6 +14,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.observability import events as obs_events
+from repro.observability import metrics as obs_metrics
+
 __all__ = ["SentinelPolicy", "DivergenceSentinel", "DivergenceDetected",
            "TrainingDiverged"]
 
@@ -94,23 +97,33 @@ class DivergenceSentinel:
             f"sentinel must be a bool, SentinelPolicy, or "
             f"DivergenceSentinel, got {type(value).__name__}")
 
+    def _trigger(self, iteration: int, reason: str, detail: str,
+                 message: str) -> None:
+        """Record one detection in the telemetry stream, then raise."""
+        obs_events.emit("sentinel.trigger",
+                        {"iteration": int(iteration), "reason": reason,
+                         "detail": detail})
+        obs_metrics.counter(f"sentinel.triggers.{reason}").inc()
+        raise DivergenceDetected(reason, message)
+
     def check(self, iteration: int, d_loss: float, g_loss: float,
               wasserstein: float) -> None:
         """Validate one step's scalars; raise on NaN/Inf or runaway."""
         for name, value in (("d_loss", d_loss), ("g_loss", g_loss),
                             ("wasserstein", wasserstein)):
             if not math.isfinite(value):
-                raise DivergenceDetected(
-                    "nan", f"non-finite {name}={value!r} at iteration "
-                           f"{iteration}")
+                self._trigger(
+                    iteration, "nan", name,
+                    f"non-finite {name}={value!r} at iteration {iteration}")
         if abs(d_loss) > self.policy.loss_limit \
                 or abs(g_loss) > self.policy.loss_limit:
-            raise DivergenceDetected(
-                "runaway", f"loss exceeded {self.policy.loss_limit:g} at "
-                           f"iteration {iteration} (d={d_loss:g}, "
-                           f"g={g_loss:g})")
+            self._trigger(
+                iteration, "runaway", "loss",
+                f"loss exceeded {self.policy.loss_limit:g} at iteration "
+                f"{iteration} (d={d_loss:g}, g={g_loss:g})")
         if abs(wasserstein) > self.policy.wasserstein_limit:
-            raise DivergenceDetected(
-                "runaway", f"Wasserstein estimate {wasserstein:g} exceeded "
-                           f"{self.policy.wasserstein_limit:g} at iteration "
-                           f"{iteration}")
+            self._trigger(
+                iteration, "runaway", "wasserstein",
+                f"Wasserstein estimate {wasserstein:g} exceeded "
+                f"{self.policy.wasserstein_limit:g} at iteration "
+                f"{iteration}")

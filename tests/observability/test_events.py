@@ -1,0 +1,165 @@
+"""Event log unit tests: serialization, ordering, merging, recovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.observability import events
+from repro.observability.events import (Event, EventLog, canonical_line,
+                                        merge_event_logs, read_events,
+                                        write_canonical)
+
+
+class TestEventSerialization:
+    def test_roundtrip(self):
+        e = Event(seq=3, run="r", cell="d/m", kind="k",
+                  payload={"a": 1}, volatile={"t": 0.5}, transient=True)
+        back = Event.from_json(e.to_json())
+        assert back == e
+
+    def test_canonical_strips_volatile_and_transient(self):
+        e = Event(seq=0, run="r", cell=None, kind="k",
+                  payload={"a": 1}, volatile={"pid": 42}, transient=True)
+        record = json.loads(canonical_line(e))
+        assert "volatile" not in record
+        assert "transient" not in record
+        assert record["payload"] == {"a": 1}
+
+    def test_canonical_json_is_key_sorted_and_compact(self):
+        e = Event(seq=0, run="r", cell=None, kind="k",
+                  payload={"b": 2, "a": 1})
+        line = canonical_line(e)
+        assert ": " not in line and ", " not in line
+        assert line.index('"a"') < line.index('"b"')
+
+
+class TestEventLog:
+    def test_monotonic_seq_and_file_contents(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with EventLog(path, run_id="run", cell="c") as log:
+            first = log.emit("a", {"x": 1})
+            second = log.emit("b")
+        assert (first.seq, second.seq) == (0, 1)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "a"
+        assert json.loads(lines[1])["cell"] == "c"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "log.jsonl"
+        with EventLog(path) as log:
+            log.emit("k")
+        assert path.exists()
+
+    def test_append_mode_preserves_existing_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with EventLog(path) as log:
+            log.emit("first")
+        with EventLog(path) as log:
+            log.emit("second")
+        kinds = [json.loads(line)["kind"]
+                 for line in path.read_text().splitlines()]
+        assert kinds == ["first", "second"]
+
+
+class TestScope:
+    def test_emit_is_noop_when_disabled(self):
+        assert not events.enabled()
+        assert events.emit("k", {"a": 1}) is None
+
+    def test_capture_installs_and_restores(self, tmp_path):
+        with EventLog(tmp_path / "log.jsonl") as log:
+            with events.capture(log):
+                assert events.enabled()
+                emitted = events.emit("k")
+            assert not events.enabled()
+        assert emitted in log.events
+
+    def test_nested_capture_restores_outer(self, tmp_path):
+        with EventLog(tmp_path / "a.jsonl") as outer, \
+                EventLog(tmp_path / "b.jsonl") as inner:
+            with events.capture(outer):
+                with events.capture(inner):
+                    events.emit("inner")
+                events.emit("outer")
+        assert [e.kind for e in outer.events] == ["outer"]
+        assert [e.kind for e in inner.events] == ["inner"]
+
+
+class TestReadEvents:
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_events(tmp_path / "absent.jsonl") == []
+
+    def test_truncated_final_line_skipped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with EventLog(path) as log:
+            log.emit("a")
+            log.emit("b")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "run": "r", "ki')  # crash mid-append
+        assert [e.kind for e in read_events(path)] == ["a", "b"]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        e = Event(seq=0, run="r", cell=None, kind="k")
+        path.write_text("\n" + e.to_json() + "\n\n")
+        assert [x.kind for x in read_events(path)] == ["k"]
+
+
+class TestMerge:
+    def _events(self, cell, kinds, transient=()):
+        return [Event(seq=i, run="r", cell=cell, kind=k,
+                      transient=(k in transient))
+                for i, k in enumerate(kinds)]
+
+    def test_parent_first_then_cells_in_enumeration_order(self):
+        merged = merge_event_logs(
+            self._events(None, ["sweep.start"]),
+            [self._events("a", ["a1", "a2"]), self._events("b", ["b1"])])
+        assert [e.kind for e in merged] == ["sweep.start", "a1", "a2", "b1"]
+
+    def test_sequence_renumbered_globally(self):
+        merged = merge_event_logs(
+            self._events(None, ["p"]), [self._events("c", ["x", "y"])])
+        assert [e.seq for e in merged] == [0, 1, 2]
+
+    def test_transient_events_dropped(self):
+        merged = merge_event_logs(
+            self._events(None, ["keep", "drop"], transient={"drop"}),
+            [self._events("c", ["shard"], transient={"shard"})])
+        assert [e.kind for e in merged] == ["keep"]
+        assert [e.seq for e in merged] == [0]
+
+    def test_sources_sorted_by_their_own_seq(self):
+        scrambled = list(reversed(self._events("c", ["first", "second"])))
+        merged = merge_event_logs([], [scrambled])
+        assert [e.kind for e in merged] == ["first", "second"]
+
+    def test_merge_result_independent_of_source_process(self):
+        """The same cell streams merge identically no matter how they
+        were produced -- the worker-invariance primitive."""
+        cells = [self._events("a", ["a1"]), self._events("b", ["b1"])]
+        once = merge_event_logs([], [list(c) for c in cells])
+        again = merge_event_logs([], [list(c) for c in cells])
+        assert [canonical_line(e) for e in once] == \
+            [canonical_line(e) for e in again]
+
+
+class TestWriteCanonical:
+    def test_atomic_write_and_contents(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        evs = [Event(seq=0, run="r", cell=None, kind="k",
+                     volatile={"pid": 1})]
+        write_canonical(path, evs)
+        assert not os.path.exists(str(path) + ".tmp")
+        lines = path.read_text().splitlines()
+        assert lines == [canonical_line(evs[0])]
+        assert "pid" not in lines[0]
+
+    def test_overwrites_previous_canonical(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_canonical(path, [Event(seq=0, run="r", cell=None, kind="a")])
+        write_canonical(path, [Event(seq=0, run="r", cell=None, kind="b")])
+        assert "b" in path.read_text()
+        assert len(path.read_text().splitlines()) == 1

@@ -1,0 +1,93 @@
+"""TrainingHistory windowing: bounded traces, resume closure, pinning."""
+
+import pytest
+
+from repro.core import DoppelGANger
+from repro.core.trainer import TrainingHistory
+from tests.conftest import tiny_dg_config
+
+
+def _fresh(dataset, **overrides):
+    return DoppelGANger(dataset.schema,
+                        tiny_dg_config(iterations=10, **overrides))
+
+
+class TestWindowing:
+    def test_default_bound_is_finite(self):
+        assert TrainingHistory().max_points == 4096
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            TrainingHistory(max_points=0)
+        TrainingHistory(max_points=1)
+        TrainingHistory(max_points=None)  # unbounded is explicit
+
+    def test_record_trims_oldest_in_lockstep(self):
+        h = TrainingHistory(max_points=3)
+        for i in range(5):
+            h.record(i, float(i), float(10 + i), float(20 + i))
+        assert h.iterations == [2, 3, 4]
+        assert h.d_loss == [2.0, 3.0, 4.0]
+        assert h.g_loss == [12.0, 13.0, 14.0]
+        assert h.wasserstein == [22.0, 23.0, 24.0]
+
+    def test_window_is_pure_function_of_append_sequence(self):
+        """The retained window depends only on what was recorded, never on
+        when trimming ran -- the property resume-closure relies on."""
+        windowed = TrainingHistory(max_points=10)
+        unbounded = TrainingHistory(max_points=None)
+        for i in range(100):
+            windowed.record(i, i * 0.5, i * 0.25, i * 0.125)
+            unbounded.record(i, i * 0.5, i * 0.25, i * 0.125)
+        assert windowed.iterations == unbounded.iterations[-10:]
+        assert windowed.d_loss == unbounded.d_loss[-10:]
+
+    def test_memory_stays_pinned_over_long_runs(self):
+        """A simulated million-iteration run must not grow the traces."""
+        h = TrainingHistory(max_points=64)
+        for i in range(20_000):
+            h.record(i, 0.0, 0.0, 0.0)
+            assert len(h.iterations) <= 64
+        assert len(h.iterations) == len(h.d_loss) == len(h.g_loss) \
+            == len(h.wasserstein) == 64
+        assert h.iterations[0] == 20_000 - 64
+
+    def test_unbounded_keeps_everything(self):
+        h = TrainingHistory(max_points=None)
+        for i in range(5000):
+            h.record(i, 0.0, 0.0, 0.0)
+        assert len(h.iterations) == 5000
+
+
+class TestTrainingIntegration:
+    def test_fit_history_window_bounds_traces(self, tiny_gcut):
+        history = _fresh(tiny_gcut).fit(tiny_gcut, log_every=1,
+                                        history_window=4)
+        assert len(history.iterations) == 4
+        assert history.iterations == [6, 7, 8, 9]
+
+    def test_windowed_resume_closes_exactly(self, tiny_gcut, tmp_path):
+        """Stop-at-7/resume with a window must reproduce the uninterrupted
+        windowed run exactly -- checkpoints store the already-trimmed
+        traces, and trimming is deterministic in the append sequence."""
+        ck = tmp_path / "state.npz"
+        baseline = _fresh(tiny_gcut).fit(tiny_gcut, log_every=1,
+                                         history_window=5)
+        _fresh(tiny_gcut).fit(tiny_gcut, log_every=1, iterations=7,
+                              train_state_path=ck, checkpoint_every=7,
+                              history_window=5)
+        resumed = _fresh(tiny_gcut).fit(tiny_gcut, log_every=1,
+                                        resume_from=ck, history_window=5)
+        assert resumed.iterations == baseline.iterations
+        assert resumed.d_loss == baseline.d_loss
+        assert resumed.g_loss == baseline.g_loss
+        assert resumed.wasserstein == baseline.wasserstein
+
+    def test_window_does_not_change_trained_parameters(self, tiny_gcut):
+        a = _fresh(tiny_gcut)
+        b = _fresh(tiny_gcut)
+        a.fit(tiny_gcut, log_every=1)
+        b.fit(tiny_gcut, log_every=1, history_window=2)
+        for pa, pb in zip(a.trainer.generator_params,
+                          b.trainer.generator_params):
+            assert (pa.data == pb.data).all()

@@ -1,0 +1,185 @@
+"""Metrics registry unit tests: exactness, bucket placement, merging."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.observability import metrics
+from repro.observability.metrics import (LOSS_BUCKETS, Counter, Gauge,
+                                         Histogram, MetricsRegistry,
+                                         merge_dumps)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_exact_past_int32(self):
+        """Counters must stay exact past 2**31 -- no float accumulator."""
+        c = Counter("big")
+        c.inc(2**31)
+        c.inc(2**31)
+        c.inc(1)
+        assert c.value == 2**32 + 1
+        assert isinstance(c.value, int)
+
+    def test_exact_past_float53_precision(self):
+        """Increments of 1 on a > 2**53 total would vanish under float
+        accumulation; ints keep them."""
+        c = Counter("huge")
+        c.inc(2**53)
+        c.inc(1)
+        assert c.value == 2**53 + 1  # float would round this to 2**53
+
+    def test_numpy_integers_accepted(self):
+        c = Counter("np")
+        c.inc(np.int64(3))
+        assert c.value == 3
+
+    def test_float_increment_rejected(self):
+        with pytest.raises(TypeError):
+            Counter("f").inc(1.0)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("n").inc(-1)
+
+
+class TestGauge:
+    def test_holds_last_value(self):
+        g = Gauge("lr")
+        g.set(0.001)
+        g.set(0.0005)
+        assert g.value == 0.0005
+
+
+class TestHistogram:
+    def test_edges_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", [2.0, 1.0])
+
+    def test_left_closed_boundary_placement(self):
+        """A value exactly on an edge lands in the bucket that *starts*
+        there: buckets are (-inf, e0) [e0, e1) ... [e_last, inf)."""
+        h = Histogram("h", [0.0, 1.0, 2.0])
+        assert h.bucket_of(-0.5) == 0   # (-inf, 0)
+        assert h.bucket_of(0.0) == 1    # [0, 1) -- closed on the left
+        assert h.bucket_of(0.999) == 1
+        assert h.bucket_of(1.0) == 2    # [1, 2)
+        assert h.bucket_of(2.0) == 3    # [2, inf)
+        assert h.bucket_of(100.0) == 3
+
+    def test_observe_increments_matching_bucket(self):
+        h = Histogram("h", [0.0, 1.0])
+        for v in (-1.0, 0.0, 0.5, 1.0, 2.0):
+            h.observe(v)
+        assert list(h.counts) == [1, 2, 2]
+        assert h.count == 5
+        assert h.total == pytest.approx(2.5)
+
+    def test_counts_are_int64(self):
+        h = Histogram("h", [0.0])
+        assert h.counts.dtype == np.int64
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h", [0.0]) is r.histogram("h", [0.0])
+
+    def test_histogram_edge_mismatch_rejected(self):
+        r = MetricsRegistry()
+        r.histogram("h", [0.0, 1.0])
+        with pytest.raises(ValueError):
+            r.histogram("h", [0.0, 2.0])
+
+    def test_dump_is_sorted_and_json_safe(self):
+        r = MetricsRegistry()
+        r.counter("z.count").inc(2)
+        r.counter("a.count").inc(1)
+        r.gauge("lr").set(0.5)
+        r.histogram("h", LOSS_BUCKETS).observe(0.25)
+        dump = r.dump()
+        assert list(dump["counters"]) == ["a.count", "z.count"]
+        # Round-trips through canonical JSON without custom encoders.
+        again = json.loads(json.dumps(dump, sort_keys=True))
+        assert again == dump
+
+    def test_reset_clears_everything(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.reset()
+        assert r.dump() == {"counters": {}, "gauges": {},
+                            "histograms": {}}
+
+
+class TestScope:
+    def test_disabled_accessors_are_noops(self):
+        assert not metrics.enabled()
+        metrics.counter("x").inc(10)
+        metrics.gauge("g").set(1.0)
+        metrics.histogram("h", [0.0]).observe(1.0)
+        assert metrics.current() is None
+
+    def test_use_installs_and_restores(self):
+        r = MetricsRegistry()
+        with metrics.use(r):
+            assert metrics.enabled()
+            metrics.counter("in").inc()
+        assert not metrics.enabled()
+        assert r.counter("in").value == 1
+
+    def test_nested_use_restores_outer(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with metrics.use(outer):
+            with metrics.use(inner):
+                metrics.counter("c").inc()
+            metrics.counter("c").inc()
+        assert inner.counter("c").value == 1
+        assert outer.counter("c").value == 1
+
+
+class TestMergeDumps:
+    def _dump(self, count, gauge, bucket_counts):
+        return {"counters": {"c": count}, "gauges": {"g": gauge},
+                "histograms": {"h": {"edges": [0.0, 1.0],
+                                     "counts": bucket_counts,
+                                     "count": sum(bucket_counts),
+                                     "total": float(sum(bucket_counts))}}}
+
+    def test_counters_sum_gauges_last_wins(self):
+        merged = merge_dumps([self._dump(2, 0.1, [1, 0, 0]),
+                              self._dump(3, 0.2, [0, 2, 1])])
+        assert merged["counters"]["c"] == 5
+        assert merged["gauges"]["g"] == 0.2
+        assert merged["histograms"]["h"]["counts"] == [1, 2, 1]
+        assert merged["histograms"]["h"]["count"] == 4
+
+    def test_edge_mismatch_raises(self):
+        other = self._dump(1, 0.0, [1, 0, 0])
+        other["histograms"]["h"]["edges"] = [0.0, 2.0]
+        with pytest.raises(ValueError):
+            merge_dumps([self._dump(1, 0.0, [1, 0, 0]), other])
+
+    def test_empty_and_missing_sections_tolerated(self):
+        merged = merge_dumps([{}, {"counters": {"only": 1}}])
+        assert merged == {"counters": {"only": 1}, "gauges": {},
+                          "histograms": {}}
+
+    def test_merge_order_independent_for_counters(self):
+        a, b = self._dump(2, 0.1, [1, 0, 0]), self._dump(3, 0.9, [0, 1, 0])
+        ab, ba = merge_dumps([a, b]), merge_dumps([b, a])
+        assert ab["counters"] == ba["counters"]
+        assert ab["histograms"]["h"]["counts"] == \
+            ba["histograms"]["h"]["counts"]

@@ -1,0 +1,87 @@
+"""Run-report rendering tests: determinism and section behaviour."""
+
+from repro.observability.events import Event
+from repro.observability.report import render_run_report
+
+
+def _event(kind, cell=None, payload=None, seq=0):
+    return Event(seq=seq, run="r", cell=cell, kind=kind,
+                 payload=payload or {})
+
+
+class TestRenderRunReport:
+    def test_empty_run_renders_header_only(self):
+        report = render_run_report([])
+        assert report.startswith("# Run report")
+        assert "- events: 0" in report
+        assert "## Training" not in report
+        assert "## Histograms" not in report
+
+    def test_event_counts_sorted_by_kind(self):
+        report = render_run_report([_event("z.kind"), _event("a.kind"),
+                                    _event("a.kind")])
+        assert report.index("| a.kind | 2 |") < report.index("| z.kind | 1 |")
+
+    def test_training_summary_uses_last_iteration(self):
+        evs = [
+            _event("train.iteration", cell="gcut/dg",
+                   payload={"iteration": 0, "d_loss": 1.0, "g_loss": 2.0,
+                            "wasserstein": 0.5}, seq=0),
+            _event("train.iteration", cell="gcut/dg",
+                   payload={"iteration": 1, "d_loss": 3.0, "g_loss": 4.0,
+                            "wasserstein": 0.25}, seq=1),
+        ]
+        report = render_run_report(evs)
+        assert "| gcut/dg | 2 | 3 | 4 | 0.25 | 0 |" in report
+
+    def test_sentinel_section_lists_rollback_fields(self):
+        evs = [_event("sentinel.rollback", cell="gcut/dg",
+                      payload={"iteration": 7, "trigger": "nan",
+                               "restored_iteration": 5, "lr_decay": 0.5})]
+        report = render_run_report(evs)
+        assert "## Sentinel interventions" in report
+        assert "| gcut/dg | 7 | nan | 5 | 0.5 |" in report
+
+    def test_cache_and_failure_sections(self):
+        evs = [_event("cache.hit"), _event("cache.miss"),
+               _event("cache.miss"),
+               _event("cell.failure", cell="wwt/dg",
+                      payload={"exception_type": "TrainingDiverged",
+                               "iteration": 3, "retries": 2})]
+        report = render_run_report(evs)
+        assert "- hits: 1" in report
+        assert "- misses: 2" in report
+        assert "| wwt/dg | TrainingDiverged | 3 | 2 |" in report
+
+    def test_metrics_and_histogram_sections(self):
+        metrics = {
+            "counters": {"train.iterations": 4},
+            "gauges": {"train.g_lr": 0.001},
+            "histograms": {"train.d_loss": {
+                "edges": [0.0, 1.0], "counts": [0, 3, 1],
+                "count": 4, "total": 2.5}},
+        }
+        report = render_run_report([], metrics)
+        assert "| train.iterations | 4 |" in report
+        assert "| train.g_lr | 0.001 |" in report
+        assert "| train.d_loss | 4 | 2.5 | 0 3 1 |" in report
+
+    def test_render_is_pure_and_deterministic(self):
+        evs = [_event("train.iteration", cell="a/b",
+                      payload={"d_loss": 0.1, "g_loss": 0.2,
+                               "wasserstein": 0.3})]
+        metrics = {"counters": {"c": 1}}
+        assert render_run_report(evs, metrics) == \
+            render_run_report(list(evs), dict(metrics))
+
+    def test_no_volatile_content_leaks(self):
+        ev = Event(seq=0, run="r", cell=None, kind="cell.finish",
+                   payload={"status": "trained"},
+                   volatile={"wall": 1.23, "pid": 999})
+        report = render_run_report([ev])
+        assert "999" not in report
+        assert "1.23" not in report
+
+    def test_custom_title(self):
+        assert render_run_report([], title="Run report: sweep") \
+            .startswith("# Run report: sweep")

@@ -1,0 +1,132 @@
+"""Sweep telemetry integration: layout, merging, worker invariance.
+
+The full serial-vs-2-worker byte-identity property (which needs fresh
+processes to defeat the harness model cache) lives in
+``tests/properties/test_determinism_battery.py``; these tests cover the
+in-process plumbing.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.configs import TINY
+from repro.experiments.harness import clear_cache, run_sweep
+from repro.observability.events import read_events
+from repro.observability.telemetry import (cell_log_path,
+                                           cell_metrics_path, cell_slug)
+
+
+@pytest.fixture(autouse=True)
+def fresh_harness():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCellNaming:
+    def test_cell_slug_flattens_tuples(self):
+        assert cell_slug(("gcut", "dg")) == "gcut_dg"
+        assert cell_slug(("gcut", "dg", 3)) == "gcut_dg_3"
+
+    def test_cell_slug_sanitizes(self):
+        assert "/" not in cell_slug(("a/b", "c d"))
+
+    def test_cell_paths_under_cells_dir(self, tmp_path):
+        path = cell_log_path(tmp_path, ("gcut", "dg"))
+        assert path == str(tmp_path / "cells" / "gcut_dg.jsonl")
+        assert cell_metrics_path(tmp_path, ("gcut", "dg")).endswith(
+            "gcut_dg.metrics.json")
+
+
+class TestSweepTelemetry:
+    def _sweep(self, out, **kwargs):
+        return run_sweep(["gcut"], ["dg"], scale=TINY, verbose=False,
+                         telemetry=str(out), **kwargs)
+
+    def test_run_directory_layout(self, tmp_path):
+        out = tmp_path / "tel"
+        result = self._sweep(out)
+        assert not result.failures
+        for name in ("parent.jsonl", "events.jsonl", "metrics.json",
+                     "report.md"):
+            assert (out / name).exists(), name
+        assert (out / "cells" / "gcut_dg.jsonl").exists()
+        assert (out / "cells" / "gcut_dg.metrics.json").exists()
+
+    def test_telemetry_forces_cell_path(self, tmp_path):
+        """Even a plain serial sweep must go through the cells path when
+        telemetry is on, so workers=1 and workers=2 log identically."""
+        self._sweep(tmp_path / "t")
+        kinds = [e.kind
+                 for e in read_events(tmp_path / "t" / "events.jsonl")]
+        assert "cell.start" in kinds
+        assert "cell.finish" in kinds
+
+    def test_canonical_log_structure(self, tmp_path):
+        self._sweep(tmp_path / "t")
+        events = read_events(tmp_path / "t" / "events.jsonl")
+        kinds = [e.kind for e in events]
+        # Parent events first, then the cell's stream.
+        assert kinds[0] == "sweep.start"
+        assert kinds[1] == "sweep.finish"
+        assert kinds[2] == "cell.start"
+        assert kinds[-1] == "cell.finish"
+        assert kinds.count("train.iteration") == TINY.dg_iterations
+        assert [e.seq for e in events] == list(range(len(events)))
+        # Canonical lines carry no volatile keys.
+        raw = (tmp_path / "t" / "events.jsonl").read_text()
+        assert "volatile" not in raw
+        assert "wall" not in raw
+
+    def test_merged_metrics_include_cell_registries(self, tmp_path):
+        self._sweep(tmp_path / "t")
+        metrics = json.loads((tmp_path / "t" / "metrics.json").read_text())
+        assert metrics["counters"]["train.iterations"] == TINY.dg_iterations
+        assert metrics["histograms"]["train.d_loss"]["count"] == \
+            TINY.dg_iterations
+
+    def test_report_rendered(self, tmp_path):
+        self._sweep(tmp_path / "t")
+        report = (tmp_path / "t" / "report.md").read_text()
+        assert report.startswith("# Run report: sweep")
+        assert "gcut/dg" in report
+
+    def test_cache_hits_and_misses_emitted(self, tmp_path):
+        cache = tmp_path / "cache"
+        self._sweep(tmp_path / "t1", cache_dir=str(cache))
+        clear_cache()  # drop the in-process model cache, keep the disk one
+        self._sweep(tmp_path / "t2", cache_dir=str(cache))
+        first = [e.kind for e in
+                 read_events(tmp_path / "t1" / "events.jsonl")]
+        second = [e.kind for e in
+                  read_events(tmp_path / "t2" / "events.jsonl")]
+        assert first.count("cache.miss") == 1
+        assert first.count("cache.store") == 1
+        assert second.count("cache.hit") == 1
+        assert "train.iteration" not in second  # cell never trained
+
+    def test_failed_cell_leaves_failure_event(self, tmp_path):
+        result = self._sweep(tmp_path / "t", batch_size=10_000)
+        assert len(result.failures) == 1
+        events = read_events(tmp_path / "t" / "events.jsonl")
+        failures = [e for e in events if e.kind == "cell.failure"]
+        assert len(failures) == 1
+        p = failures[0].payload
+        assert p["dataset"] == "gcut" and p["model"] == "dg"
+        assert p["exception_type"]
+        finish = [e for e in events if e.kind == "cell.finish"]
+        assert finish[0].payload["status"] == "failed"
+
+    def test_multi_seed_sweep_has_per_replica_cells(self, tmp_path):
+        result = self._sweep(tmp_path / "t", seeds=2)
+        assert len(result.models) == 2
+        events = read_events(tmp_path / "t" / "events.jsonl")
+        cells = sorted({e.cell for e in events if e.cell})
+        assert cells == ["gcut/dg/0", "gcut/dg/1"]
+        assert (tmp_path / "t" / "cells" / "gcut_dg_0.jsonl").exists()
+
+    def test_no_telemetry_writes_nothing(self, tmp_path):
+        run_sweep(["gcut"], ["dg"], scale=TINY, verbose=False)
+        assert not os.listdir(tmp_path)

@@ -1,0 +1,129 @@
+"""Property-based tests for the metrics primitives.
+
+Hypothesis hunts for boundary values the example-based tests miss:
+bucket placement exactly on edges, counter totals past every float
+precision cliff, and merge/split invariance of dumps.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.metrics import (Histogram, MetricsRegistry,
+                                         merge_dumps)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          width=64, min_value=-1e12, max_value=1e12)
+
+
+@st.composite
+def edge_lists(draw):
+    edges = draw(st.lists(finite_floats, min_size=1, max_size=6,
+                          unique=True))
+    return sorted(edges)
+
+
+class TestHistogramPlacement:
+    @given(edges=edge_lists(), value=finite_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_bucket_matches_left_closed_scan(self, edges, value):
+        """searchsorted placement == the naive left-closed definition:
+        the bucket index is the number of edges <= value."""
+        h = Histogram("h", edges)
+        expected = sum(1 for e in edges if e <= value)
+        assert h.bucket_of(value) == expected
+
+    @given(edges=edge_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_edge_values_open_their_own_bucket(self, edges):
+        h = Histogram("h", edges)
+        for i, edge in enumerate(edges):
+            assert h.bucket_of(edge) == i + 1
+
+    @given(edges=edge_lists(),
+           values=st.lists(finite_floats, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_every_observation_lands_in_exactly_one_bucket(self, edges,
+                                                           values):
+        h = Histogram("h", edges)
+        for v in values:
+            h.observe(v)
+        assert h.count == len(values)
+        assert all(c >= 0 for c in h.counts)
+
+
+class TestCounterExactness:
+    @given(increments=st.lists(st.integers(min_value=0,
+                                           max_value=2**62),
+                               max_size=30))
+    @settings(max_examples=200, deadline=None)
+    def test_counter_equals_exact_sum(self, increments):
+        r = MetricsRegistry()
+        for n in increments:
+            r.counter("c").inc(n)
+        assert r.counter("c").value == sum(increments)
+
+    @given(n_ones=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_unit_increments_survive_a_large_base(self, n_ones):
+        """After a 2**53 base, float accumulation would drop every
+        following +1; exact ints must not."""
+        r = MetricsRegistry()
+        c = r.counter("c")
+        c.inc(2**53)
+        for _ in range(n_ones):
+            c.inc()
+        assert c.value == 2**53 + n_ones
+
+
+class TestMergeProperties:
+    @given(values=st.lists(finite_floats, max_size=40),
+           split=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_of_split_registries_equals_single_registry(
+            self, values, split):
+        """Observing a stream in one registry == splitting it across two
+        registries and merging the dumps -- the invariant that makes the
+        merged sweep metrics worker-count invariant."""
+        edges = (0.0, 1.0, 10.0)
+        whole = MetricsRegistry()
+        first, second = MetricsRegistry(), MetricsRegistry()
+        for r in (whole, first, second):  # register even when empty
+            r.histogram("h", edges)
+            r.counter("n")
+        split = min(split, len(values))
+        for i, v in enumerate(values):
+            whole.histogram("h", edges).observe(v)
+            whole.counter("n").inc()
+            part = first if i < split else second
+            part.histogram("h", edges).observe(v)
+            part.counter("n").inc()
+        merged = merge_dumps([first.dump(), second.dump()])
+        expected = merge_dumps([whole.dump()])
+        assert merged["counters"] == expected["counters"]
+        assert merged["histograms"]["h"]["counts"] == \
+            expected["histograms"]["h"]["counts"]
+        assert merged["histograms"]["h"]["count"] == \
+            expected["histograms"]["h"]["count"]
+
+    @given(counts=st.lists(st.integers(min_value=0, max_value=2**40),
+                           min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_associative_for_counters(self, counts):
+        dumps = [{"counters": {"c": n}} for n in counts]
+        left = merge_dumps([merge_dumps(dumps[:2])] + dumps[2:]) \
+            if len(dumps) >= 2 else merge_dumps(dumps)
+        flat = merge_dumps(dumps)
+        assert left["counters"] == flat["counters"]
+
+    @given(values=st.lists(finite_floats, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_dump_is_canonical_json_stable(self, values):
+        r = MetricsRegistry()
+        for v in values:
+            r.histogram("h", (0.0,)).observe(v)
+            r.gauge("g").set(v)
+        a = json.dumps(r.dump(), sort_keys=True)
+        b = json.dumps(r.dump(), sort_keys=True)
+        assert a == b
