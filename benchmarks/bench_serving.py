@@ -1,0 +1,69 @@
+"""Serving benchmark wrapper: micro-batching on vs off.
+
+Thin entry point over :func:`repro.serve.bench.run_serving_benchmark`.
+Measures request throughput and tail latency of the loopback socket
+server at concurrency 8, comparing default micro-batched planning against
+batch-size-1 per-request serving, verifies one served response
+byte-for-byte against direct generation, and writes
+``BENCH_serving.json`` at the repo root.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke \
+        --output BENCH_serving_ci.json
+
+or as part of the benchmark suite::
+
+    pytest benchmarks/bench_serving.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.serve.bench import (DEFAULT_OUTPUT, check_result_schema,
+                               run_serving_benchmark)
+
+COMMITTED = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def test_serving_throughput_and_identity(tmp_path):
+    """Acceptance: byte-identity always; >=2x over batch-size-1 serving."""
+    result = run_serving_benchmark(
+        smoke=True, output=tmp_path / "BENCH_serving.json")
+    assert result["served_identical"]
+    assert result["throughput_speedup"] >= 2.0
+    reference = COMMITTED if COMMITTED.exists() else None
+    assert check_result_schema(result, reference=reference) == []
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per client thread")
+    parser.add_argument("--n", type=int, default=16,
+                        help="objects per request")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small load; exit non-zero on identity or "
+                             "schema drift vs the committed JSON")
+    args = parser.parse_args(argv)
+    result = run_serving_benchmark(
+        concurrency=args.concurrency, requests_per_client=args.requests,
+        n=args.n, output=args.output, smoke=args.smoke)
+    if not result["served_identical"]:
+        raise SystemExit("[bench_serving] FAILURE: served output drifted "
+                         "from direct generation")
+    if args.smoke:
+        reference = COMMITTED if COMMITTED.exists() else None
+        problems = check_result_schema(result, reference=reference)
+        if problems:
+            raise SystemExit("[bench_serving] FAILURE: "
+                             + "; ".join(problems))
+
+
+if __name__ == "__main__":
+    main()

@@ -18,13 +18,24 @@ without writing code:
     # changes the result, see docs/architecture.md "Parallel execution")
     python -m repro.cli sweep --datasets gcut --models hmm ar \
         --scale tiny --workers 2 --report report.md
+
+    # serving (docs/serving.md): publish to a registry, serve it
+    python -m repro.cli publish --model model.npz --registry reg/ \
+        --name wwt
+    python -m repro.cli serve --registry reg/ --port 7777
+
+Every command exits 2 with a one-line ``error: ...`` on stderr for
+missing or unreadable inputs; ``--out``-style paths auto-create their
+parent directories.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+import zipfile
 
 import numpy as np
 
@@ -34,6 +45,42 @@ from repro.data.dataset import TimeSeriesDataset
 from repro.data.simulators import generate_gcut, generate_mba, generate_wwt
 
 __all__ = ["main", "build_parser"]
+
+
+class _CliError(Exception):
+    """A user-facing failure: printed as one line, exit code 2."""
+
+
+def _ensure_parent(path: str | None) -> str | None:
+    """Create the parent directory of an output path (returns ``path``)."""
+    if path:
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+    return path
+
+
+def _load_dataset(path: str) -> TimeSeriesDataset:
+    try:
+        return TimeSeriesDataset.load(path)
+    except FileNotFoundError:
+        raise _CliError(f"dataset file {path!r} does not exist; create "
+                        f"one with 'simulate' or 'generate'") from None
+    except (OSError, EOFError, ValueError, KeyError,
+            zipfile.BadZipFile) as exc:
+        raise _CliError(f"cannot read dataset {path!r}: the file is not "
+                        f"a dataset archive or is corrupted "
+                        f"({exc})") from None
+
+
+def _load_model(path: str) -> DoppelGANger:
+    try:
+        return DoppelGANger.load(path)
+    except FileNotFoundError:
+        raise _CliError(f"model file {path!r} does not exist; train one "
+                        f"with 'train' first") from None
+    except (OSError, EOFError, ValueError, KeyError,
+            zipfile.BadZipFile) as exc:
+        raise _CliError(f"cannot load model {path!r}: {exc}") from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -128,6 +175,64 @@ def build_parser() -> argparse.ArgumentParser:
                           "report.md")
     met.add_argument("--dir", required=True,
                      help="telemetry directory of a finished run")
+
+    pub = sub.add_parser("publish", help="publish a trained model into "
+                                         "a registry (docs/serving.md)")
+    pub.add_argument("--model", required=True,
+                     help="model parameter file written by 'train'")
+    pub.add_argument("--registry", required=True,
+                     help="registry directory (created if missing)")
+    pub.add_argument("--name", required=True,
+                     help="model name; each publish appends a version")
+    pub.add_argument("--meta", default=None,
+                     help="JSON object stored with the version entry")
+
+    srv = sub.add_parser("serve", help="serve registry models over a "
+                                       "loopback socket")
+    srv.add_argument("--registry", required=True)
+    srv.add_argument("--models", nargs="*", default=None,
+                     help="specs to serve, e.g. wwt@2 (default: latest "
+                          "version of every published model)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0,
+                     help="0 binds an ephemeral port (printed, and "
+                          "written to --port-file)")
+    srv.add_argument("--batch-wait-ms", type=float, default=2.0,
+                     help="micro-batch flush deadline")
+    srv.add_argument("--batch-rows", type=int, default=None,
+                     help="rows per execution bundle (default: the "
+                          "model's batch_size -- the only value that "
+                          "keeps served output byte-identical to direct "
+                          "generation)")
+    srv.add_argument("--queue-rows", type=int, default=4096,
+                     help="admission bound; beyond it requests are shed "
+                          "with a 'busy' error")
+    srv.add_argument("--port-file", default=None,
+                     help="write the bound port here once listening "
+                          "(for scripts and tests)")
+    srv.add_argument("--stop-file", default=None,
+                     help="drain and exit when this file appears "
+                          "(alternative to SIGINT)")
+    srv.add_argument("--telemetry", default=None, metavar="DIR",
+                     help="collect serving metrics into DIR on exit")
+
+    bsrv = sub.add_parser("bench-serve",
+                          help="benchmark micro-batched vs batch-size-1 "
+                               "serving (writes BENCH_serving.json)")
+    bsrv.add_argument("--model", default=None,
+                      help="trained model file (default: train a tiny "
+                           "benchmark model)")
+    bsrv.add_argument("--concurrency", type=int, default=8)
+    bsrv.add_argument("--requests", type=int, default=8,
+                      help="requests per client thread")
+    bsrv.add_argument("--n", type=int, default=16,
+                      help="objects per request")
+    bsrv.add_argument("--output", default="BENCH_serving.json")
+    bsrv.add_argument("--smoke", action="store_true",
+                      help="small load for CI; still checks identity")
+    bsrv.add_argument("--check-schema", default=None, metavar="REF",
+                      help="fail if the result's keys drift from this "
+                           "committed BENCH_serving.json")
     return parser
 
 
@@ -140,13 +245,15 @@ def _cmd_simulate(args) -> int:
         data = generate_mba(args.n, rng, length=args.length or 56)
     else:
         data = generate_gcut(args.n, rng, max_length=args.length or 24)
-    data.save(args.out)
+    data.save(_ensure_parent(args.out))
     print(f"wrote {len(data)} objects to {args.out}")
     return 0
 
 
 def _cmd_train(args) -> int:
-    data = TimeSeriesDataset.load(args.data)
+    data = _load_dataset(args.data)
+    _ensure_parent(args.out)
+    _ensure_parent(args.checkpoint)
     sample_len = args.sample_len or DGConfig.recommended_sample_len(
         data.schema.max_length, target_passes=25)
     width = args.hidden
@@ -206,7 +313,8 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_generate(args) -> int:
-    model = DoppelGANger.load(args.model)
+    model = _load_model(args.model)
+    _ensure_parent(args.out)
     if args.telemetry:
         from repro.observability import TelemetryRun
         with TelemetryRun(args.telemetry, run_id="generate") as run:
@@ -237,7 +345,7 @@ def _cmd_sweep(args) -> int:
         print(summary)
     if args.report:
         report = render_sweep_report(result, n=args.digest_n)
-        with open(args.report, "w") as handle:
+        with open(_ensure_parent(args.report), "w") as handle:
             handle.write(report + "\n")
         print(f"sweep report written to {args.report}")
     print(f"trained {len(result.models)} cells, "
@@ -274,8 +382,105 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_publish(args) -> int:
+    from repro.serve import ModelRegistry, RegistryError
+
+    model = _load_model(args.model)
+    meta = {}
+    if args.meta:
+        try:
+            meta = json.loads(args.meta)
+        except ValueError as exc:
+            raise _CliError(f"--meta is not valid JSON: {exc}") from None
+        if not isinstance(meta, dict):
+            raise _CliError("--meta must be a JSON object")
+    try:
+        registry = ModelRegistry(args.registry)
+        record = registry.publish(args.name, model, meta=meta)
+    except RegistryError as exc:
+        raise _CliError(str(exc)) from None
+    print(f"published {record.spec} (sha256 {record.sha256[:12]}..., "
+          f"{record.nbytes} bytes) to {args.registry}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import time
+
+    from repro.serve import GenerationService, ModelRegistry, Server
+    from repro.serve.registry import RegistryError
+
+    try:
+        registry = ModelRegistry(args.registry)
+        service = GenerationService.from_registry(
+            registry, specs=args.models or None,
+            max_batch_rows=args.batch_rows,
+            max_wait_ms=args.batch_wait_ms,
+            max_queue_rows=args.queue_rows)
+    except RegistryError as exc:
+        raise _CliError(str(exc)) from None
+
+    telemetry = None
+    if args.telemetry:
+        from repro.observability import TelemetryRun
+        telemetry = TelemetryRun(args.telemetry, run_id="serve")
+        telemetry.__enter__()
+    server = Server(service, host=args.host, port=args.port)
+    host, port = server.address
+    for row in service.describe():
+        tag = "" if row["deterministic"] else \
+            "  [non-deterministic batch-rows override]"
+        print(f"serving {row['spec']} "
+              f"(aliases: {', '.join(row['aliases']) or '-'}){tag}")
+    print(f"listening on {host}:{port}")
+    if args.port_file:
+        _ensure_parent(args.port_file)
+        tmp = args.port_file + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(f"{port}\n")
+        os.replace(tmp, args.port_file)
+    try:
+        while True:
+            if args.stop_file and os.path.exists(args.stop_file):
+                print(f"stop file {args.stop_file} found")
+                break
+            time.sleep(0.1)
+    except KeyboardInterrupt:
+        print("interrupt received")
+    print("draining in-flight requests...")
+    server.shutdown(drain=True)
+    if telemetry is not None:
+        telemetry.__exit__(None, None, None)
+        paths = telemetry.finalize()
+        print(f"telemetry written to {paths['events']}")
+    print("server stopped")
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.serve.bench import check_result_schema, run_serving_benchmark
+
+    model = _load_model(args.model) if args.model else None
+    _ensure_parent(args.output)
+    result = run_serving_benchmark(
+        model, concurrency=args.concurrency,
+        requests_per_client=args.requests, n=args.n,
+        output=args.output, smoke=args.smoke)
+    if not result["served_identical"]:
+        print("error: served output drifted from direct generation",
+              file=sys.stderr)
+        return 1
+    if args.check_schema:
+        problems = check_result_schema(result, reference=args.check_schema)
+        if problems:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_inspect(args) -> int:
-    data = TimeSeriesDataset.load(args.data)
+    data = _load_dataset(args.data)
     schema = data.schema
     print(f"objects: {len(data)}")
     print(f"max length: {schema.max_length} "
@@ -297,8 +502,14 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"simulate": _cmd_simulate, "train": _cmd_train,
                 "generate": _cmd_generate, "inspect": _cmd_inspect,
-                "sweep": _cmd_sweep, "metrics": _cmd_metrics}
-    return handlers[args.command](args)
+                "sweep": _cmd_sweep, "metrics": _cmd_metrics,
+                "publish": _cmd_publish, "serve": _cmd_serve,
+                "bench-serve": _cmd_bench_serve}
+    try:
+        return handlers[args.command](args)
+    except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import zipfile
 
 import numpy as np
 
@@ -221,27 +223,12 @@ class DoppelGANger:
         cannot change the output (docs/architecture.md).
         """
         from repro.observability import events as obs_events
-        from repro.parallel.generation import (BlockPlan,
-                                               generate_encoded_sharded,
-                                               plan_blocks)
+        from repro.parallel.generation import (generate_encoded_sharded,
+                                               plan_request)
 
         self._require_trained()
-        if attributes is not None and len(attributes) != n:
-            raise ValueError("attributes must have n rows")
         base = rng if rng is not None else self._rng
-        sizes = plan_blocks(n, self.config.batch_size)
-        blocks, done = [], 0
-        for size in sizes:
-            cond = None
-            if attributes is not None:
-                cond = self.encoder.encode_attributes(
-                    attributes[done:done + size])
-            blocks.append(BlockPlan(
-                size=size,
-                noise=self._draw_block_noise(size, base,
-                                             conditioned=cond is not None),
-                cond=cond))
-            done += size
+        blocks = plan_request(self, n, base, attributes=attributes)
         # The plan is a pure function of (n, batch_size, conditioning),
         # never of the worker count, so this event is canonical even
         # though execution below may shard.
@@ -385,6 +372,9 @@ class DoppelGANger:
     @classmethod
     def _from_state_arrays(cls, arrays: dict) -> "DoppelGANger":
         """Rebuild a model from the dict produced by :meth:`_state_arrays`."""
+        if "__meta__" not in arrays:
+            raise ValueError("not a DoppelGANger model archive "
+                             "(no __meta__ entry)")
         meta = json.loads(bytes(arrays["__meta__"].tobytes()).decode())
         weights = {key: value for key, value in arrays.items()
                    if key != "__meta__"}
@@ -406,9 +396,23 @@ class DoppelGANger:
 
     @classmethod
     def load(cls, path) -> "DoppelGANger":
-        """Restore a model saved by :meth:`save`."""
-        with np.load(path) as archive:
-            arrays = {key: archive[key] for key in archive.files}
+        """Restore a model saved by :meth:`save`.
+
+        Missing, truncated, or non-model files raise a clear
+        :class:`ValueError` naming the path, instead of a bare numpy or
+        zipfile error from deep inside the archive reader.
+        """
+        try:
+            with np.load(path) as archive:
+                arrays = {key: archive[key] for key in archive.files}
+        except (OSError, EOFError, ValueError, zipfile.BadZipFile) as exc:
+            raise ValueError(
+                f"cannot read model archive {os.fspath(path)!r}: the file "
+                f"is missing, corrupted, or truncated ({exc})") from exc
+        if "__meta__" not in arrays:
+            raise ValueError(
+                f"{os.fspath(path)!r} is not a DoppelGANger model archive "
+                f"(no __meta__ entry)")
         return cls._from_state_arrays(arrays)
 
     def save_bytes(self) -> bytes:

@@ -28,11 +28,11 @@ from repro.observability.events import (Event, EventLog, capture,
                                         emit, merge_event_logs,
                                         read_events, write_canonical)
 from repro.observability.events import enabled as events_enabled
-from repro.observability.metrics import (LOSS_BUCKETS, NORM_BUCKETS,
-                                         SECONDS_BUCKETS, Counter, Gauge,
-                                         Histogram, MetricsRegistry,
-                                         counter, gauge, histogram,
-                                         merge_dumps, use)
+from repro.observability.metrics import (LATENCY_BUCKETS, LOSS_BUCKETS,
+                                         NORM_BUCKETS, SECONDS_BUCKETS,
+                                         Counter, Gauge, Histogram,
+                                         MetricsRegistry, counter, gauge,
+                                         histogram, merge_dumps, use)
 from repro.observability.metrics import enabled as metrics_enabled
 from repro.observability.report import render_run_report
 from repro.observability.telemetry import (TelemetryRun, cell_log_path,
@@ -45,7 +45,7 @@ __all__ = [
     "merge_event_logs", "read_events", "write_canonical",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "counter",
     "gauge", "histogram", "merge_dumps", "use", "metrics_enabled",
-    "LOSS_BUCKETS", "NORM_BUCKETS", "SECONDS_BUCKETS",
+    "LATENCY_BUCKETS", "LOSS_BUCKETS", "NORM_BUCKETS", "SECONDS_BUCKETS",
     "render_run_report",
     "TelemetryRun", "cell_log_path", "cell_metrics_path", "cell_slug",
     "telemetry_active", "write_cell_metrics",

@@ -37,13 +37,19 @@ import numpy as np
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "use", "current", "enabled", "counter", "gauge", "histogram",
-           "LOSS_BUCKETS", "NORM_BUCKETS", "SECONDS_BUCKETS"]
+           "LOSS_BUCKETS", "NORM_BUCKETS", "SECONDS_BUCKETS",
+           "LATENCY_BUCKETS"]
 
 # Standard fixed edge sets used by the built-in instrumentation.  Fixed and
 # shared so every run's histogram dumps line up bucket-for-bucket.
 LOSS_BUCKETS = (-100.0, -10.0, -1.0, -0.1, 0.0, 0.1, 1.0, 10.0, 100.0)
 NORM_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
 SECONDS_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+# Request latencies (repro.serve) live between ~0.5 ms and a few seconds
+# on the CPU substrate; SECONDS_BUCKETS is too coarse to see batching
+# effects there.
+LATENCY_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+                   30.0)
 
 
 class Counter:

@@ -25,7 +25,8 @@ import numpy as np
 from repro.observability import events as obs_events
 from repro.parallel.pool import ProcessPool, effective_workers
 
-__all__ = ["BlockPlan", "plan_blocks", "generate_encoded_sharded"]
+__all__ = ["BlockPlan", "plan_blocks", "plan_request",
+           "generate_encoded_sharded"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,48 @@ def plan_blocks(n: int, batch_size: int) -> list[int]:
     if n % batch_size:
         sizes.append(n % batch_size)
     return sizes
+
+
+def plan_request(model, n: int, rng: np.random.Generator,
+                 attributes: np.ndarray | None = None,
+                 block_rows: int | None = None) -> list[BlockPlan]:
+    """Plan one generation request into blocks with pre-drawn noise.
+
+    This is the single place a request is turned into model batches: the
+    serial path, the sharded path, and the serving micro-batcher all plan
+    through it, so "the blocks of ``generate(n, seed)``" means the same
+    thing everywhere.  Noise for every block is drawn from ``rng`` here,
+    in plan order, which is what makes a request's output independent of
+    where (or with what else) its blocks are later executed.
+
+    Args:
+        model: A trained :class:`~repro.core.doppelganger.DoppelGANger`.
+        n: Number of objects requested.
+        rng: The request's randomness source, consumed in plan order.
+        attributes: Optional raw attribute rows (n, m) to condition on.
+        block_rows: Rows per block.  The default -- the model's configured
+            ``batch_size`` -- is the only value whose rng draw order (and
+            therefore output) matches :meth:`DoppelGANger.generate`;
+            anything else is an explicitly degraded mode (e.g. the
+            batch-size-1 serving baseline benchmarked by
+            ``benchmarks/bench_serving.py``).
+    """
+    if attributes is not None and len(attributes) != n:
+        raise ValueError("attributes must have n rows")
+    sizes = plan_blocks(n, block_rows or model.config.batch_size)
+    blocks, done = [], 0
+    for size in sizes:
+        cond = None
+        if attributes is not None:
+            cond = model.encoder.encode_attributes(
+                attributes[done:done + size])
+        blocks.append(BlockPlan(
+            size=size,
+            noise=model._draw_block_noise(size, rng,
+                                          conditioned=cond is not None),
+            cond=cond))
+        done += size
+    return blocks
 
 
 def _generate_shard(task) -> list[tuple]:

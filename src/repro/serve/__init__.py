@@ -1,0 +1,33 @@
+"""repro.serve: model registry + micro-batching generation service.
+
+The serving stack between a trained :class:`DoppelGANger` and its
+consumers (docs/serving.md):
+
+- :mod:`repro.serve.registry` -- on-disk, versioned, content-addressed
+  model storage (``publish`` / ``resolve`` / ``load``).
+- :mod:`repro.serve.batcher` -- micro-batching scheduler that coalesces
+  concurrent ``generate(n, seed)`` requests while keeping served output
+  byte-identical to direct generation.
+- :mod:`repro.serve.protocol` -- length-prefixed JSON + npz framing.
+- :mod:`repro.serve.server` / :mod:`repro.serve.client` -- threaded
+  loopback-socket server with bounded admission and graceful drain, plus
+  socket / in-process clients and a load generator.
+- :mod:`repro.serve.bench` -- the BENCH_serving.json benchmark.
+"""
+
+from repro.serve.batcher import BatcherClosed, MicroBatcher, QueueFull
+from repro.serve.client import (InProcessClient, LoadReport, ServeClient,
+                                ServeError, ServerBusy, run_load)
+from repro.serve.registry import (CorruptModelBlob, ModelNotFound,
+                                  ModelRecord, ModelRegistry,
+                                  RegistryError)
+from repro.serve.server import GenerationService, Server
+
+__all__ = [
+    "ModelRegistry", "ModelRecord", "RegistryError", "ModelNotFound",
+    "CorruptModelBlob",
+    "MicroBatcher", "QueueFull", "BatcherClosed",
+    "GenerationService", "Server",
+    "ServeClient", "InProcessClient", "ServeError", "ServerBusy",
+    "LoadReport", "run_load",
+]

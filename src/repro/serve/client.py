@@ -1,0 +1,240 @@
+"""Clients for the generation service: socket, in-process, load generator.
+
+:class:`ServeClient` speaks the loopback protocol over a TCP connection;
+:class:`InProcessClient` presents the identical API directly over a
+:class:`~repro.serve.server.GenerationService` (no sockets -- the
+transport tests and the batching benchmark use it to separate scheduler
+effects from socket effects).  Both raise :class:`ServerBusy` when the
+server sheds a request (backpressure is an *expected* outcome a caller
+must handle, not an exotic failure).
+
+:func:`run_load` is the load generator behind
+``benchmarks/bench_serving.py`` and ``repro.cli bench-serve``: N client
+threads issue M requests each and every per-request latency is recorded,
+so throughput and tail latency come from the same run.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.serve import protocol
+
+__all__ = ["ServeError", "ServerBusy", "ServeClient", "InProcessClient",
+           "LoadReport", "run_load"]
+
+
+class ServeError(RuntimeError):
+    """An error response from the service; ``code`` is machine-readable."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class ServerBusy(ServeError):
+    """The admission queue was full and the request was shed."""
+
+
+def _result_dataset(header: dict, payload: bytes) -> TimeSeriesDataset:
+    status = header.get("status")
+    if status == "ok":
+        return protocol.dataset_from_bytes(payload)
+    code = header.get("code", protocol.ERR_INTERNAL)
+    message = header.get("error", "unknown server error")
+    if code == protocol.ERR_BUSY:
+        raise ServerBusy(code, message)
+    raise ServeError(code, message)
+
+
+class ServeClient:
+    """A blocking client over one TCP connection (reusable, sequential)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+
+    def _call(self, header: dict) -> tuple[dict, bytes]:
+        protocol.write_message(self._wfile, header)
+        try:
+            return protocol.read_message(self._rfile)
+        except EOFError:
+            raise ServeError(
+                protocol.ERR_INTERNAL,
+                "server closed the connection without a response") \
+                from None
+
+    def ping(self) -> bool:
+        header, _ = self._call({"op": "ping"})
+        return header.get("status") == "ok"
+
+    def models(self) -> list[dict]:
+        header, _ = self._call({"op": "models"})
+        if header.get("status") != "ok":
+            _result_dataset(header, b"")  # raises the mapped error
+        return header["models"]
+
+    def generate(self, model: str, n: int, seed: int = 0
+                 ) -> TimeSeriesDataset:
+        """Request ``n`` objects from ``model``; deterministic in seed."""
+        header, payload = self._call({"op": "generate", "model": model,
+                                      "n": int(n), "seed": int(seed)})
+        return _result_dataset(header, payload)
+
+    def close(self) -> None:
+        for handle in (self._rfile, self._wfile, self._sock):
+            try:
+                handle.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InProcessClient:
+    """The client API bound directly to a service (no sockets)."""
+
+    def __init__(self, service):
+        self.service = service
+
+    def ping(self) -> bool:
+        header, _ = self.service.handle({"op": "ping"})
+        return header.get("status") == "ok"
+
+    def models(self) -> list[dict]:
+        header, _ = self.service.handle({"op": "models"})
+        return header["models"]
+
+    def generate(self, model: str, n: int, seed: int = 0
+                 ) -> TimeSeriesDataset:
+        header, payload = self.service.handle(
+            {"op": "generate", "model": model, "n": int(n),
+             "seed": int(seed)})
+        return _result_dataset(header, payload)
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+# -- load generation ---------------------------------------------------------
+
+@dataclass
+class LoadReport:
+    """What a :func:`run_load` run measured."""
+
+    concurrency: int
+    requests: int
+    ok: int
+    shed: int
+    errors: int
+    wall_seconds: float
+    latencies: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall-clock second."""
+        return self.ok / self.wall_seconds if self.wall_seconds else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Seconds at percentile ``q`` (0..100) over completed requests."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def summary(self) -> dict:
+        """JSON-ready digest (used by BENCH_serving.json)."""
+        return {
+            "concurrency": self.concurrency,
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "wall_seconds": self.wall_seconds,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.latency_percentile(50) * 1000.0,
+            "p99_ms": self.latency_percentile(99) * 1000.0,
+        }
+
+
+def run_load(client_factory, *, model: str, concurrency: int,
+             requests_per_client: int, n: int, seed_base: int = 0,
+             retry_shed: bool = False) -> LoadReport:
+    """Drive a service with ``concurrency`` threads and measure it.
+
+    Args:
+        client_factory: Zero-arg callable building a fresh client per
+            thread (socket clients must not be shared across threads).
+        model: Model spec to request.
+        concurrency: Client threads.
+        requests_per_client: Sequential requests per thread.
+        n: Objects per request.
+        seed_base: Seeds are ``seed_base + thread * requests + i`` --
+            unique per request, so any response can be replayed against
+            direct generation.
+        retry_shed: Retry shed requests (with a short backoff) instead
+            of counting them and moving on.
+    """
+    lock = threading.Lock()
+    latencies: list[float] = []
+    counts = {"ok": 0, "shed": 0, "errors": 0}
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(index: int) -> None:
+        client = client_factory()
+        try:
+            barrier.wait()
+            for i in range(requests_per_client):
+                seed = seed_base + index * requests_per_client + i
+                started = time.perf_counter()
+                while True:
+                    try:
+                        client.generate(model, n, seed)
+                        elapsed = time.perf_counter() - started
+                        with lock:
+                            counts["ok"] += 1
+                            latencies.append(elapsed)
+                    except ServerBusy:
+                        if retry_shed:
+                            time.sleep(0.002)
+                            continue
+                        with lock:
+                            counts["shed"] += 1
+                    except ServeError:
+                        with lock:
+                            counts["errors"] += 1
+                    break
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return LoadReport(concurrency=concurrency,
+                      requests=concurrency * requests_per_client,
+                      ok=counts["ok"], shed=counts["shed"],
+                      errors=counts["errors"], wall_seconds=wall,
+                      latencies=latencies)

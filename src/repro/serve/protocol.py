@@ -1,0 +1,139 @@
+"""Length-prefixed JSON + npz framing for the serving loopback protocol.
+
+One frame carries a JSON *header* and an optional binary *payload*::
+
+    +------+---------+----------------+----------------+--------+---------+
+    | RSRV | version | header length  | payload length | header | payload |
+    | 4 B  |   1 B   |  4 B big-end.  |  8 B big-end.  | JSON   |  bytes  |
+    +------+---------+----------------+----------------+--------+---------+
+
+Headers are small structured facts (op, model spec, n, seed, status,
+error code); payloads are npz archives -- a generated
+:class:`~repro.data.dataset.TimeSeriesDataset` serialized with its own
+``save``/``load`` format, so a consumer needs nothing serving-specific to
+read what it receives.  Both directions use the same framing.
+
+Malformed input (bad magic, oversized lengths, truncation, non-JSON
+header) raises :class:`ProtocolError`; servers drop the connection,
+clients surface the error.  Error *responses* are well-formed frames with
+``status="error"`` and a machine-readable ``code``:
+
+- ``busy`` -- admission queue full; the request was shed (backpressure).
+- ``shutting_down`` -- server is draining; retry against a new server.
+- ``model_not_found`` -- unknown model spec.
+- ``bad_request`` -- malformed op/arguments.
+- ``internal`` -- unexpected server-side failure.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+
+from repro.data.dataset import TimeSeriesDataset
+
+__all__ = ["MAGIC", "VERSION", "MAX_HEADER_BYTES", "MAX_PAYLOAD_BYTES",
+           "ProtocolError", "write_message", "read_message",
+           "dataset_to_bytes", "dataset_from_bytes",
+           "ERR_BUSY", "ERR_SHUTTING_DOWN", "ERR_MODEL_NOT_FOUND",
+           "ERR_BAD_REQUEST", "ERR_INTERNAL"]
+
+MAGIC = b"RSRV"
+VERSION = 1
+_PREFIX = struct.Struct(">4sBIQ")
+
+MAX_HEADER_BYTES = 1 << 20  # 1 MiB of JSON is already absurd
+MAX_PAYLOAD_BYTES = 1 << 33  # 8 GiB hard cap per frame
+
+ERR_BUSY = "busy"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_MODEL_NOT_FOUND = "model_not_found"
+ERR_BAD_REQUEST = "bad_request"
+ERR_INTERNAL = "internal"
+
+
+class ProtocolError(ValueError):
+    """The byte stream does not follow the framing above."""
+
+
+def write_message(wfile, header: dict, payload: bytes = b"") -> None:
+    """Frame and write one message to a binary file-like object."""
+    head = json.dumps(header, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header of {len(head)} bytes exceeds the "
+                            f"{MAX_HEADER_BYTES}-byte cap")
+    wfile.write(_PREFIX.pack(MAGIC, VERSION, len(head), len(payload)))
+    wfile.write(head)
+    if payload:
+        wfile.write(payload)
+    wfile.flush()
+
+
+def _read_exact(rfile, n: int, what: str) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = rfile.read(remaining)
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame while reading {what} "
+                f"({n - remaining}/{n} bytes received)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(rfile) -> tuple[dict, bytes]:
+    """Read one frame; returns ``(header, payload)``.
+
+    Raises :class:`EOFError` on a clean end-of-stream before any byte of
+    a frame, and :class:`ProtocolError` on anything malformed.
+    """
+    first = rfile.read(1)
+    if not first:
+        raise EOFError("end of stream")
+    prefix = first + _read_exact(rfile, _PREFIX.size - 1, "frame prefix")
+    magic, version, head_len, payload_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} "
+                            f"(expected {MAGIC!r})")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version} "
+                            f"(this side speaks {VERSION})")
+    if head_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"declared header of {head_len} bytes exceeds "
+                            f"the {MAX_HEADER_BYTES}-byte cap")
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"declared payload of {payload_len} bytes "
+                            f"exceeds the {MAX_PAYLOAD_BYTES}-byte cap")
+    head = _read_exact(rfile, head_len, "header")
+    try:
+        header = json.loads(head.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"header is not valid JSON ({exc})") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("header must be a JSON object")
+    payload = _read_exact(rfile, payload_len, "payload") \
+        if payload_len else b""
+    return header, payload
+
+
+# -- payload codecs ----------------------------------------------------------
+
+def dataset_to_bytes(dataset: TimeSeriesDataset) -> bytes:
+    """Serialize a dataset to npz bytes (the generate-response payload)."""
+    buffer = io.BytesIO()
+    dataset.save(buffer)
+    return buffer.getvalue()
+
+
+def dataset_from_bytes(blob: bytes) -> TimeSeriesDataset:
+    """Inverse of :func:`dataset_to_bytes`."""
+    try:
+        return TimeSeriesDataset.load(io.BytesIO(blob))
+    except (OSError, EOFError, ValueError, KeyError) as exc:
+        raise ProtocolError(
+            f"response payload does not decode as a dataset "
+            f"({exc})") from exc

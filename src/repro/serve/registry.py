@@ -1,0 +1,255 @@
+"""On-disk, versioned, content-addressed model registry.
+
+The paper's release workflow (Figure 2) ends with "the data holder ships
+the parameter file"; a serving deployment needs a step between training
+and the request path that makes that shipment *named*, *versioned*, and
+*tamper-evident*.  The registry is a plain directory::
+
+    ROOT/
+      blobs/<sha256>.npz        # content-addressed model archives
+      models/<name>.json        # per-model manifest: ordered version list
+
+Design points:
+
+- **Content addressing**: a blob is stored under the sha256 of its
+  :meth:`DoppelGANger.save_bytes` archive.  Republishing identical bytes
+  is a no-op (the latest version is returned), and two names pointing at
+  the same parameters share one blob.
+- **Atomic publish**: blobs and manifests are written with the same
+  tmp + ``fsync`` + ``os.replace`` discipline as
+  :mod:`repro.resilience.checkpoint`, so a crash mid-publish leaves
+  either the previous registry state or the new one -- never a torn
+  manifest or a half-written blob.
+- **Verified loads**: :meth:`ModelRegistry.load` re-hashes the blob and
+  refuses to deserialize on mismatch, so disk corruption surfaces as a
+  clear :class:`CorruptModelBlob` ("re-publish the model") instead of a
+  numpy error deep inside the archive reader -- or worse, silently wrong
+  synthetic data.
+- **Resolution**: ``name``, ``name@latest``, and ``name@<version>`` all
+  resolve through :meth:`ModelRegistry.resolve`; unknown names/versions
+  raise :class:`ModelNotFound` listing what exists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.observability import metrics as obs_metrics
+
+__all__ = ["ModelRegistry", "ModelRecord", "RegistryError",
+           "ModelNotFound", "CorruptModelBlob"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+class RegistryError(ValueError):
+    """Base class for registry failures."""
+
+
+class ModelNotFound(RegistryError):
+    """The requested name or version does not exist in the registry."""
+
+
+class CorruptModelBlob(RegistryError):
+    """A stored blob is missing or fails its content-hash check."""
+
+
+@dataclass(frozen=True, eq=True)
+class ModelRecord:
+    """One published (name, version) -> blob binding."""
+
+    name: str
+    version: int
+    sha256: str
+    nbytes: int
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def spec(self) -> str:
+        """The canonical ``name@version`` request string."""
+        return f"{self.name}@{self.version}"
+
+
+def _write_atomic(path: str, data: bytes) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class ModelRegistry:
+    """A directory of published models, safe for concurrent readers.
+
+    Typical use::
+
+        registry = ModelRegistry("registry/")
+        record = registry.publish("wwt-dg", model)     # -> wwt-dg@1
+        model = registry.load("wwt-dg@latest")
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = os.fspath(root)
+        os.makedirs(os.path.join(self.root, "blobs"), exist_ok=True)
+        os.makedirs(os.path.join(self.root, "models"), exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+    def _blob_path(self, sha256: str) -> str:
+        return os.path.join(self.root, "blobs", f"{sha256}.npz")
+
+    def _manifest_path(self, name: str) -> str:
+        return os.path.join(self.root, "models", f"{name}.json")
+
+    # -- manifests -----------------------------------------------------------
+    def _read_manifest(self, name: str) -> dict | None:
+        try:
+            with open(self._manifest_path(name), encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            raise RegistryError(
+                f"manifest for model {name!r} in registry {self.root!r} is "
+                f"unreadable or corrupt ({exc}); restore it or re-publish "
+                f"the model under a new name") from exc
+        if not isinstance(manifest.get("versions"), list):
+            raise RegistryError(
+                f"manifest for model {name!r} in registry {self.root!r} "
+                f"has no version list; restore it or re-publish")
+        return manifest
+
+    def _record(self, name: str, entry: dict) -> ModelRecord:
+        return ModelRecord(name=name, version=int(entry["version"]),
+                           sha256=str(entry["sha256"]),
+                           nbytes=int(entry["nbytes"]),
+                           meta=dict(entry.get("meta", {})))
+
+    # -- publishing ----------------------------------------------------------
+    def publish(self, name: str, model, meta: dict | None = None
+                ) -> ModelRecord:
+        """Publish ``model`` (a DoppelGANger or raw archive bytes).
+
+        Returns the new :class:`ModelRecord` -- or the existing latest
+        record when the bytes are identical to it (idempotent
+        republish).  ``meta`` is an optional JSON-serializable dict
+        stored alongside the version entry.
+        """
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid model name {name!r}: use letters, digits, "
+                f"'.', '_', '-' (must not start with a separator)")
+        if isinstance(model, (bytes, bytearray)):
+            blob = bytes(model)
+        else:
+            blob = model.save_bytes()
+        sha256 = hashlib.sha256(blob).hexdigest()
+
+        manifest = self._read_manifest(name) or {"name": name,
+                                                 "versions": []}
+        versions = manifest["versions"]
+        if versions and versions[-1]["sha256"] == sha256:
+            return self._record(name, versions[-1])
+
+        blob_path = self._blob_path(sha256)
+        if not os.path.exists(blob_path):
+            _write_atomic(blob_path, blob)
+        entry = {
+            "version": (int(versions[-1]["version"]) + 1 if versions
+                        else 1),
+            "sha256": sha256,
+            "nbytes": len(blob),
+            "meta": dict(meta or {}),
+        }
+        versions.append(entry)
+        _write_atomic(self._manifest_path(name),
+                      (json.dumps(manifest, sort_keys=True, indent=2)
+                       + "\n").encode("utf-8"))
+        obs_metrics.counter("registry.publish").inc()
+        return self._record(name, entry)
+
+    # -- resolution and loading ----------------------------------------------
+    def resolve(self, spec: str) -> ModelRecord:
+        """Resolve ``name``, ``name@latest``, or ``name@<version>``."""
+        name, _, version = str(spec).partition("@")
+        manifest = self._read_manifest(name)
+        if manifest is None or not manifest["versions"]:
+            known = ", ".join(self.models()) or "<empty registry>"
+            raise ModelNotFound(
+                f"no model named {name!r} in registry {self.root!r} "
+                f"(published models: {known})")
+        versions = manifest["versions"]
+        if version in ("", "latest"):
+            return self._record(name, versions[-1])
+        try:
+            wanted = int(version)
+        except ValueError:
+            raise ModelNotFound(
+                f"bad version {version!r} in spec {spec!r}: use an "
+                f"integer or 'latest'") from None
+        for entry in versions:
+            if int(entry["version"]) == wanted:
+                return self._record(name, entry)
+        available = [int(e["version"]) for e in versions]
+        raise ModelNotFound(
+            f"model {name!r} has no version {wanted} "
+            f"(available: {available})")
+
+    def open_bytes(self, record: ModelRecord) -> bytes:
+        """Read and hash-verify the blob behind ``record``."""
+        path = self._blob_path(record.sha256)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            raise CorruptModelBlob(
+                f"blob for {record.spec} is missing from {path!r} ({exc}); "
+                f"the registry is damaged -- re-publish the model") from exc
+        actual = hashlib.sha256(blob).hexdigest()
+        if actual != record.sha256:
+            raise CorruptModelBlob(
+                f"blob for {record.spec} fails its content check "
+                f"(expected sha256 {record.sha256[:12]}..., file hashes "
+                f"to {actual[:12]}...); the file was corrupted on disk -- "
+                f"re-publish the model")
+        return blob
+
+    def load(self, spec: str | ModelRecord):
+        """Load the model behind ``spec`` (hash-verified)."""
+        from repro.core.doppelganger import DoppelGANger
+
+        record = spec if isinstance(spec, ModelRecord) \
+            else self.resolve(spec)
+        blob = self.open_bytes(record)
+        try:
+            model = DoppelGANger.load_bytes(blob)
+        except (ValueError, KeyError) as exc:
+            raise CorruptModelBlob(
+                f"blob for {record.spec} passes its hash check but does "
+                f"not decode as a model ({exc}); it was published from a "
+                f"bad archive -- re-publish the model") from exc
+        obs_metrics.counter("registry.load").inc()
+        return model
+
+    # -- listing -------------------------------------------------------------
+    def models(self) -> list[str]:
+        """Published model names, sorted."""
+        names = []
+        directory = os.path.join(self.root, "models")
+        for entry in sorted(os.listdir(directory)):
+            if entry.endswith(".json"):
+                names.append(entry[:-len(".json")])
+        return names
+
+    def versions(self, name: str) -> list[ModelRecord]:
+        """All records of ``name``, oldest first."""
+        manifest = self._read_manifest(name)
+        if manifest is None:
+            raise ModelNotFound(
+                f"no model named {name!r} in registry {self.root!r}")
+        return [self._record(name, entry)
+                for entry in manifest["versions"]]

@@ -1,0 +1,307 @@
+"""The generation service and its threaded loopback-socket server.
+
+Two layers, deliberately separable:
+
+- :class:`GenerationService` is transport-independent: a mapping of model
+  specs to :class:`~repro.serve.batcher.MicroBatcher` instances plus a
+  ``handle(header) -> (header, payload)`` request dispatcher.  Tests and
+  the in-process client (:class:`repro.serve.client.InProcessClient`)
+  call it directly; the socket server is a thin framing shim over it.
+- :class:`Server` owns a listening socket, an accept thread, and one
+  handler thread per connection.  Handler threads block on their
+  request's Future while the batcher worker executes -- concurrency is
+  bounded by the batcher's admission queue, so a flooded server *sheds*
+  (``busy`` responses) instead of accumulating unbounded work.
+
+Shutdown contract (``Server.shutdown(drain=True)``): stop accepting, stop
+admitting, complete every already-admitted request and write its
+response, then close connections and the listening socket.  Requests that
+arrive during the drain get a well-formed ``shutting_down`` error.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.observability import metrics as obs_metrics
+from repro.serve import protocol
+from repro.serve.batcher import BatcherClosed, MicroBatcher, QueueFull
+from repro.serve.registry import ModelNotFound, ModelRegistry
+
+__all__ = ["GenerationService", "Server", "DEFAULT_MAX_REQUEST_N"]
+
+# A single request may ask for at most this many objects; bigger asks get
+# a bad_request telling the caller to split (keeps one client from
+# monopolising the admission queue).
+DEFAULT_MAX_REQUEST_N = 1 << 20
+
+
+class GenerationService:
+    """Named models behind micro-batchers, plus request dispatch.
+
+    Args:
+        models: Mapping of spec -> trained DoppelGANger.  Specs are the
+            strings clients send (conventionally ``name@version``).
+        aliases: Optional extra spec -> canonical-spec mapping (e.g.
+            ``{"wwt": "wwt@3", "wwt@latest": "wwt@3"}``).
+        max_batch_rows / max_wait_ms / max_queue_rows: Batcher knobs,
+            shared by every model (see :class:`MicroBatcher`).
+        max_request_n: Per-request object cap (``bad_request`` beyond).
+    """
+
+    def __init__(self, models: dict, aliases: dict | None = None, *,
+                 max_batch_rows: int | None = None,
+                 max_wait_ms: float = 2.0, max_queue_rows: int = 4096,
+                 max_request_n: int = DEFAULT_MAX_REQUEST_N):
+        self.batchers: dict[str, MicroBatcher] = {
+            spec: MicroBatcher(model, max_batch_rows=max_batch_rows,
+                               max_wait_ms=max_wait_ms,
+                               max_queue_rows=max_queue_rows, name=spec)
+            for spec, model in models.items()
+        }
+        self.aliases = dict(aliases or {})
+        self.max_request_n = int(max_request_n)
+        self._closed = False
+
+    @classmethod
+    def from_registry(cls, registry: ModelRegistry,
+                      specs: list[str] | None = None,
+                      **kwargs) -> "GenerationService":
+        """Load models out of a registry and alias bare/latest specs.
+
+        ``specs=None`` serves the latest version of every published
+        model.  Each resolved model is served under its canonical
+        ``name@version`` spec; ``name`` and ``name@latest`` alias to the
+        newest resolved version of that name.
+        """
+        specs = list(specs) if specs else registry.models()
+        if not specs:
+            raise ModelNotFound(
+                f"registry {registry.root!r} has no published models")
+        records = [registry.resolve(spec) for spec in specs]
+        models: dict = {}
+        newest: dict[str, int] = {}
+        for record in records:
+            if record.spec not in models:
+                models[record.spec] = registry.load(record)
+            newest[record.name] = max(newest.get(record.name, 0),
+                                      record.version)
+        aliases = {}
+        for name, version in newest.items():
+            aliases[name] = f"{name}@{version}"
+            aliases[f"{name}@latest"] = f"{name}@{version}"
+        return cls(models, aliases, **kwargs)
+
+    # -- dispatch ------------------------------------------------------------
+    def _error(self, code: str, message: str) -> tuple[dict, bytes]:
+        obs_metrics.counter(f"serve.errors.{code}").inc()
+        return {"status": "error", "code": code, "error": message}, b""
+
+    def lookup(self, spec) -> MicroBatcher:
+        """The batcher serving ``spec`` (aliases resolved)."""
+        spec = str(spec)
+        batcher = self.batchers.get(self.aliases.get(spec, spec))
+        if batcher is None:
+            raise ModelNotFound(
+                f"no model {spec!r} is being served "
+                f"(serving: {sorted(self.batchers)})")
+        return batcher
+
+    def describe(self) -> list[dict]:
+        """One row per served model, for the ``models`` op."""
+        rows = []
+        for spec in sorted(self.batchers):
+            batcher = self.batchers[spec]
+            rows.append({"spec": spec,
+                         "batch_rows": batcher.max_batch_rows,
+                         "deterministic": batcher.deterministic,
+                         "aliases": sorted(a for a, c in
+                                           self.aliases.items()
+                                           if c == spec)})
+        return rows
+
+    def handle(self, header: dict) -> tuple[dict, bytes]:
+        """Serve one request header; returns ``(header, payload)``.
+
+        Never raises for request-level problems -- they become
+        well-formed error responses.  This is the single entry point for
+        every transport (sockets, in-process).
+        """
+        op = header.get("op")
+        if op == "ping":
+            return {"status": "ok"}, b""
+        if op == "models":
+            return {"status": "ok", "models": self.describe()}, b""
+        if op != "generate":
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               f"unknown op {op!r} (expected ping, "
+                               f"models, or generate)")
+
+        spec = header.get("model")
+        n, seed = header.get("n"), header.get("seed", 0)
+        if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               f"n must be a non-negative integer, "
+                               f"got {n!r}")
+        if n > self.max_request_n:
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               f"n={n} exceeds the per-request cap of "
+                               f"{self.max_request_n}; split the request")
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               f"seed must be an integer, got {seed!r}")
+        try:
+            batcher = self.lookup(spec)
+        except ModelNotFound as exc:
+            return self._error(protocol.ERR_MODEL_NOT_FOUND, str(exc))
+        try:
+            future = batcher.submit(n, seed)
+        except QueueFull as exc:
+            return self._error(protocol.ERR_BUSY, str(exc))
+        except BatcherClosed as exc:
+            return self._error(protocol.ERR_SHUTTING_DOWN, str(exc))
+        try:
+            dataset = future.result()
+        except BatcherClosed as exc:
+            return self._error(protocol.ERR_SHUTTING_DOWN, str(exc))
+        except Exception as exc:
+            return self._error(protocol.ERR_INTERNAL,
+                               f"generation failed: {exc}")
+        payload = protocol.dataset_to_bytes(dataset)
+        return {"status": "ok", "n": n, "seed": seed,
+                "model": self.aliases.get(str(spec), str(spec)),
+                "payload_bytes": len(payload)}, payload
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self, drain: bool = True) -> None:
+        """Stop admission on every batcher; with ``drain``, finish all."""
+        if self._closed:
+            return
+        self._closed = True
+        for batcher in self.batchers.values():
+            batcher.close(drain=drain)
+
+
+class Server:
+    """Threaded loopback-socket front end for a :class:`GenerationService`.
+
+    ``port=0`` binds an ephemeral port; the bound address is available as
+    :attr:`address` immediately after construction.
+    """
+
+    def __init__(self, service: GenerationService,
+                 host: str = "127.0.0.1", port: int = 0,
+                 backlog: int = 64):
+        self.service = service
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(backlog)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._closing = False
+        self._conn_lock = threading.Lock()
+        self._conns: dict[int, socket.socket] = {}
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept",
+            daemon=True)
+        self._accept_thread.start()
+
+    # -- connection handling -------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:  # listener closed -> shutdown
+                return
+            with self._conn_lock:
+                if self._closing:
+                    conn.close()
+                    continue
+                self._conns[conn.fileno()] = conn
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,),
+                    name=f"repro-serve-conn-{conn.fileno()}", daemon=True)
+                self._threads.append(thread)
+            obs_metrics.counter("serve.connections").inc()
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        key = conn.fileno()
+        rfile = conn.makefile("rb")
+        wfile = conn.makefile("wb")
+        try:
+            while True:
+                try:
+                    header, _ = protocol.read_message(rfile)
+                except EOFError:
+                    return
+                except (protocol.ProtocolError, OSError):
+                    return  # drop malformed/broken connections
+                if self._closing:
+                    response, payload = (
+                        {"status": "error",
+                         "code": protocol.ERR_SHUTTING_DOWN,
+                         "error": "server is draining"}, b"")
+                else:
+                    response, payload = self.service.handle(header)
+                try:
+                    protocol.write_message(wfile, response, payload)
+                except (OSError, ValueError):
+                    return  # peer went away mid-response
+        finally:
+            for handle in (rfile, wfile):
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._conn_lock:
+                self._conns.pop(key, None)
+
+    # -- lifecycle -----------------------------------------------------------
+    def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Graceful stop: drain admitted work, then close the socket.
+
+        Order matters: (1) refuse new connections, (2) mark draining so
+        freshly read requests get ``shutting_down``, (3) close the
+        service -- with ``drain=True`` this blocks until every admitted
+        request has completed and its handler can write the response,
+        (4) nudge idle connections closed and join handler threads.
+        """
+        with self._conn_lock:
+            if self._closing:
+                return
+            self._closing = True
+        # close() alone does not wake a thread blocked in accept() on
+        # Linux; shutting the socket down first makes accept() return.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._listener.close()
+        self._accept_thread.join(timeout=timeout)
+        self.service.close(drain=drain)
+        # Handlers blocked in read_message on idle connections never see
+        # the flag; shutting down the read side unblocks them.  Handlers
+        # mid-response finish their write first (SHUT_RD leaves the write
+        # side open).
+        with self._conn_lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -69,3 +69,120 @@ def test_dataset_save_load_roundtrip(tiny_gcut, tmp_path):
     assert loaded.schema == tiny_gcut.schema
     assert np.array_equal(loaded.features, tiny_gcut.features)
     assert np.array_equal(loaded.lengths, tiny_gcut.lengths)
+
+
+class TestErrorHandling:
+    """Missing/corrupt inputs: exit 2 with a one-line actionable error."""
+
+    def test_missing_data_file(self, workdir, capsys):
+        rc = main(["train", "--data", str(workdir / "nope.npz"),
+                   "--out", str(workdir / "m.npz")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+        assert "does not exist" in err
+
+    def test_missing_model_file(self, workdir, capsys):
+        rc = main(["generate", "--model", str(workdir / "nope.npz"),
+                   "--n", "3", "--out", str(workdir / "s.npz")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+
+    def test_corrupt_data_file(self, workdir, capsys):
+        garbage = workdir / "garbage.npz"
+        garbage.write_bytes(b"this is not an npz archive")
+        rc = main(["inspect", "--data", str(garbage)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot read dataset" in err
+
+    def test_model_file_passed_as_data(self, workdir, capsys):
+        data = workdir / "data.npz"
+        model = workdir / "model.npz"
+        main(["simulate", "--dataset", "gcut", "--n", "20", "--length",
+              "8", "--out", str(data)])
+        main(["train", "--data", str(data), "--out", str(model),
+              "--iterations", "2", "--hidden", "12", "--batch-size", "8"])
+        assert main(["inspect", "--data", str(model)]) == 2
+        assert "cannot read dataset" in capsys.readouterr().err
+
+    def test_out_creates_parent_directories(self, workdir):
+        out = workdir / "a" / "b" / "c" / "data.npz"
+        assert main(["simulate", "--dataset", "gcut", "--n", "10",
+                     "--length", "8", "--out", str(out)]) == 0
+        assert out.exists()
+
+
+class TestServingWorkflow:
+    """publish -> serve -> client, all through the CLI surface."""
+
+    def test_publish_then_serve_roundtrip(self, workdir, trained_dg_gcut,
+                                          capsys):
+        import threading
+        import time
+
+        import numpy as np
+
+        model_path = workdir / "model.npz"
+        trained_dg_gcut.save(model_path)
+        registry = workdir / "registry"
+        assert main(["publish", "--model", str(model_path),
+                     "--registry", str(registry), "--name", "gcut"]) == 0
+        assert "published gcut@1" in capsys.readouterr().out
+        # idempotent republish stays at version 1
+        assert main(["publish", "--model", str(model_path),
+                     "--registry", str(registry), "--name", "gcut"]) == 0
+        assert "gcut@1" in capsys.readouterr().out
+
+        port_file = workdir / "port.txt"
+        stop_file = workdir / "stop.txt"
+        server = threading.Thread(
+            target=main,
+            args=(["serve", "--registry", str(registry),
+                   "--port-file", str(port_file),
+                   "--stop-file", str(stop_file)],),
+            daemon=True)
+        server.start()
+        try:
+            deadline = time.monotonic() + 30
+            while not port_file.exists():
+                assert time.monotonic() < deadline, "server never bound"
+                time.sleep(0.05)
+            port = int(port_file.read_text())
+
+            from repro.serve import ServeClient
+            with ServeClient("127.0.0.1", port) as client:
+                served = client.generate("gcut", 7, seed=13)
+            direct = trained_dg_gcut.generate(
+                7, rng=np.random.default_rng(13))
+            assert np.array_equal(served.attributes, direct.attributes)
+            assert np.array_equal(served.features, direct.features)
+            assert np.array_equal(served.lengths, direct.lengths)
+        finally:
+            stop_file.write_text("")
+            server.join(timeout=30)
+        assert not server.is_alive()
+
+    def test_publish_missing_model(self, workdir, capsys):
+        rc = main(["publish", "--model", str(workdir / "nope.npz"),
+                   "--registry", str(workdir / "reg"),
+                   "--name", "x"])
+        assert rc == 2
+        assert "cannot load model" in capsys.readouterr().err
+
+    def test_publish_bad_meta(self, workdir, trained_dg_gcut, capsys):
+        model_path = workdir / "model.npz"
+        trained_dg_gcut.save(model_path)
+        rc = main(["publish", "--model", str(model_path),
+                   "--registry", str(workdir / "reg"), "--name", "x",
+                   "--meta", "not json"])
+        assert rc == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_serve_empty_registry(self, workdir, capsys):
+        rc = main(["serve", "--registry", str(workdir / "empty-reg")])
+        assert rc == 2
+        assert "no published models" in capsys.readouterr().err

@@ -1,0 +1,12 @@
+"""Shared helpers for the serving tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def assert_datasets_identical(served, direct) -> None:
+    """Byte-for-byte equality of two TimeSeriesDatasets."""
+    assert np.array_equal(served.attributes, direct.attributes)
+    assert np.array_equal(served.features, direct.features)
+    assert np.array_equal(served.lengths, direct.lengths)

@@ -1,0 +1,190 @@
+"""MicroBatcher: determinism under coalescing, backpressure, drain."""
+
+import threading
+from concurrent.futures import wait
+
+import numpy as np
+import pytest
+
+from repro.observability.metrics import MetricsRegistry, use
+from repro.serve.batcher import BatcherClosed, MicroBatcher, QueueFull
+from tests.serve.conftest import assert_datasets_identical
+
+
+@pytest.fixture
+def batcher(trained_dg_gcut):
+    with MicroBatcher(trained_dg_gcut) as b:
+        yield b
+
+
+class _HeldModel:
+    """Context: the model's block execution parks on an Event."""
+
+    def __init__(self, monkeypatch, model):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        original = type(model)._generate_block
+
+        def held(size, noise, cond):
+            self.started.set()
+            assert self.release.wait(20), "test forgot to release"
+            return original(model, size, noise, cond)
+
+        monkeypatch.setattr(model, "_generate_block", held)
+
+
+class TestDeterminism:
+    def test_served_equals_direct_multi_block(self, batcher,
+                                              trained_dg_gcut):
+        # 37 rows = blocks of 16 + 16 + 5 at the model's batch size.
+        served = batcher.submit(37, seed=99).result(timeout=60)
+        direct = trained_dg_gcut.generate(
+            37, rng=np.random.default_rng(99))
+        assert_datasets_identical(served, direct)
+
+    def test_concurrent_requests_each_identical(self, batcher,
+                                                trained_dg_gcut):
+        futures = {seed: batcher.submit(8 + seed, seed=seed)
+                   for seed in range(8)}
+        wait(futures.values(), timeout=120)
+        for seed, future in futures.items():
+            direct = trained_dg_gcut.generate(
+                8 + seed, rng=np.random.default_rng(seed))
+            assert_datasets_identical(future.result(), direct)
+
+    def test_default_planning_is_deterministic(self, batcher):
+        assert batcher.deterministic
+
+    def test_n_zero_completes_immediately(self, batcher):
+        assert len(batcher.submit(0, seed=1).result(timeout=5)) == 0
+
+    def test_negative_n_rejected(self, batcher):
+        with pytest.raises(ValueError):
+            batcher.submit(-1, seed=0)
+
+    def test_batch_rows_one_is_flagged_nondeterministic(
+            self, trained_dg_gcut):
+        with MicroBatcher(trained_dg_gcut, max_batch_rows=1) as b:
+            assert not b.deterministic
+            result = b.submit(5, seed=3).result(timeout=60)
+        assert len(result) == 5
+
+    def test_batch_rows_clamped_to_model_batch(self, trained_dg_gcut):
+        with MicroBatcher(trained_dg_gcut, max_batch_rows=1000) as b:
+            assert b.plan_rows == trained_dg_gcut.config.batch_size
+            assert b.deterministic
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_queue_full(self, monkeypatch,
+                                              trained_dg_gcut):
+        held = _HeldModel(monkeypatch, trained_dg_gcut)
+        registry = MetricsRegistry()
+        with use(registry), \
+                MicroBatcher(trained_dg_gcut, max_queue_rows=40,
+                             max_wait_ms=0.0) as batcher:
+            first = batcher.submit(16, seed=1)   # occupies the worker
+            assert held.started.wait(10)
+            second = batcher.submit(16, seed=2)  # queued: 32/40 rows
+            with pytest.raises(QueueFull, match="full"):
+                batcher.submit(16, seed=3)       # 48 > 40: shed
+            assert QueueFull.code == "busy"
+            assert registry.counter("serve.shed").value == 1
+            held.release.set()
+            assert len(first.result(timeout=30)) == 16
+            assert len(second.result(timeout=30)) == 16
+        # shed requests never consumed queue budget
+        assert registry.counter("serve.requests").value == 2
+
+    def test_oversized_single_request_is_shed_not_hung(
+            self, monkeypatch, trained_dg_gcut):
+        with MicroBatcher(trained_dg_gcut, max_queue_rows=8) as batcher:
+            with pytest.raises(QueueFull):
+                batcher.submit(9, seed=0)
+
+
+class TestShutdown:
+    def test_drain_completes_admitted_work(self, monkeypatch,
+                                           trained_dg_gcut):
+        held = _HeldModel(monkeypatch, trained_dg_gcut)
+        batcher = MicroBatcher(trained_dg_gcut, max_wait_ms=0.0)
+        first = batcher.submit(16, seed=1)
+        assert held.started.wait(10)
+        second = batcher.submit(16, seed=2)
+        closer = threading.Thread(target=batcher.close,
+                                  kwargs={"drain": True})
+        closer.start()
+        held.release.set()
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        direct = trained_dg_gcut.generate(16,
+                                          rng=np.random.default_rng(2))
+        assert_datasets_identical(second.result(timeout=1), direct)
+        assert first.result(timeout=1) is not None
+
+    def test_no_drain_fails_queued_requests(self, monkeypatch,
+                                            trained_dg_gcut):
+        held = _HeldModel(monkeypatch, trained_dg_gcut)
+        batcher = MicroBatcher(trained_dg_gcut, max_wait_ms=0.0)
+        in_flight = batcher.submit(16, seed=1)
+        assert held.started.wait(10)
+        queued = batcher.submit(16, seed=2)
+        closer = threading.Thread(target=batcher.close,
+                                  kwargs={"drain": False})
+        closer.start()
+        with pytest.raises(BatcherClosed):
+            queued.result(timeout=10)
+        held.release.set()
+        closer.join(timeout=30)
+        # the block already executing still completes
+        assert len(in_flight.result(timeout=1)) == 16
+
+    def test_submit_after_close_is_rejected(self, trained_dg_gcut):
+        batcher = MicroBatcher(trained_dg_gcut)
+        batcher.close()
+        with pytest.raises(BatcherClosed):
+            batcher.submit(1, seed=0)
+        assert BatcherClosed.code == "shutting_down"
+
+    def test_close_is_idempotent(self, trained_dg_gcut):
+        batcher = MicroBatcher(trained_dg_gcut)
+        batcher.close()
+        batcher.close()
+
+
+class TestFailureIsolation:
+    def test_block_failure_fails_only_that_request(self, monkeypatch,
+                                                   trained_dg_gcut):
+        original = type(trained_dg_gcut)._generate_block
+        calls = {"count": 0}
+
+        def flaky(size, noise, cond):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("injected block failure")
+            return original(trained_dg_gcut, size, noise, cond)
+
+        monkeypatch.setattr(trained_dg_gcut, "_generate_block", flaky)
+        with MicroBatcher(trained_dg_gcut, max_wait_ms=0.0) as batcher:
+            doomed = batcher.submit(4, seed=1)
+            with pytest.raises(RuntimeError, match="injected"):
+                doomed.result(timeout=30)
+            # the worker survived and serves the next request
+            healthy = batcher.submit(4, seed=2)
+            assert len(healthy.result(timeout=30)) == 4
+
+
+class TestMetrics:
+    def test_counters_and_latency_histogram(self, trained_dg_gcut):
+        registry = MetricsRegistry()
+        with use(registry), MicroBatcher(trained_dg_gcut) as batcher:
+            batcher.submit(20, seed=1).result(timeout=60)
+            batcher.submit(4, seed=2).result(timeout=60)
+        dump = registry.dump()
+        assert dump["counters"]["serve.requests"] == 2
+        assert dump["counters"]["serve.completed"] == 2
+        assert dump["counters"]["serve.samples"] == 24
+        assert dump["counters"]["serve.model_passes"] == 3  # 16+4 and 4
+        assert dump["counters"]["serve.batches"] >= 1
+        assert dump["histograms"]["serve.latency_seconds"]["count"] == 2
+        assert dump["gauges"]["serve.queue_rows"] == 0

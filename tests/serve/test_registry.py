@@ -1,0 +1,150 @@
+"""Registry: versioned publish, resolution, and tamper evidence."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve.registry import (CorruptModelBlob, ModelNotFound,
+                                  ModelRegistry, RegistryError)
+from tests.serve.conftest import assert_datasets_identical
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "reg")
+
+
+class TestPublish:
+    def test_first_publish_is_version_one(self, registry, trained_dg_gcut):
+        record = registry.publish("gcut", trained_dg_gcut)
+        assert record.version == 1
+        assert record.spec == "gcut@1"
+        assert len(record.sha256) == 64
+        assert record.nbytes > 0
+
+    def test_republish_identical_bytes_is_idempotent(self, registry,
+                                                     trained_dg_gcut):
+        first = registry.publish("gcut", trained_dg_gcut)
+        second = registry.publish("gcut", trained_dg_gcut)
+        assert second == first
+        assert len(registry.versions("gcut")) == 1
+
+    def test_new_bytes_append_a_version(self, registry, trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        record = registry.publish("gcut", b"different parameter bytes")
+        assert record.version == 2
+        assert [r.version for r in registry.versions("gcut")] == [1, 2]
+
+    def test_same_bytes_under_two_names_share_one_blob(self, registry,
+                                                       trained_dg_gcut):
+        a = registry.publish("alpha", trained_dg_gcut)
+        b = registry.publish("beta", trained_dg_gcut)
+        assert a.sha256 == b.sha256
+        blobs = os.listdir(os.path.join(registry.root, "blobs"))
+        assert len(blobs) == 1
+
+    def test_meta_is_stored(self, registry, trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut, meta={"note": "v1"})
+        assert registry.resolve("gcut").meta == {"note": "v1"}
+
+    @pytest.mark.parametrize("name", ["", "-leading", "has space",
+                                      "slash/ed", ".hidden"])
+    def test_bad_names_are_rejected(self, registry, trained_dg_gcut, name):
+        with pytest.raises(RegistryError, match="invalid model name"):
+            registry.publish(name, trained_dg_gcut)
+
+    def test_models_listing_is_sorted(self, registry, trained_dg_gcut):
+        registry.publish("zeta", trained_dg_gcut)
+        registry.publish("alpha", trained_dg_gcut)
+        assert registry.models() == ["alpha", "zeta"]
+
+
+class TestResolve:
+    def test_bare_latest_and_explicit_specs(self, registry,
+                                            trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        registry.publish("gcut", b"newer bytes")
+        assert registry.resolve("gcut").version == 2
+        assert registry.resolve("gcut@latest").version == 2
+        assert registry.resolve("gcut@1").version == 1
+
+    def test_unknown_name_lists_published_models(self, registry,
+                                                 trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        with pytest.raises(ModelNotFound, match="gcut"):
+            registry.resolve("nope")
+
+    def test_unknown_version_lists_available(self, registry,
+                                             trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        with pytest.raises(ModelNotFound, match=r"available: \[1\]"):
+            registry.resolve("gcut@9")
+
+    def test_non_integer_version_is_actionable(self, registry,
+                                               trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        with pytest.raises(ModelNotFound, match="integer or 'latest'"):
+            registry.resolve("gcut@newest")
+
+    def test_empty_registry_error(self, registry):
+        with pytest.raises(ModelNotFound, match="<empty registry>"):
+            registry.resolve("anything")
+
+
+class TestLoad:
+    def test_roundtrip_generates_identically(self, registry,
+                                             trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        loaded = registry.load("gcut@latest")
+        assert_datasets_identical(
+            loaded.generate(11, rng=np.random.default_rng(5)),
+            trained_dg_gcut.generate(11, rng=np.random.default_rng(5)))
+
+    def test_corrupted_blob_is_refused(self, registry, trained_dg_gcut):
+        record = registry.publish("gcut", trained_dg_gcut)
+        blob_path = os.path.join(registry.root, "blobs",
+                                 f"{record.sha256}.npz")
+        blob = bytearray(open(blob_path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        open(blob_path, "wb").write(bytes(blob))
+        with pytest.raises(CorruptModelBlob, match="content check"):
+            registry.load("gcut")
+
+    def test_missing_blob_is_refused(self, registry, trained_dg_gcut):
+        record = registry.publish("gcut", trained_dg_gcut)
+        os.remove(os.path.join(registry.root, "blobs",
+                               f"{record.sha256}.npz"))
+        with pytest.raises(CorruptModelBlob, match="missing"):
+            registry.load("gcut")
+
+    def test_hash_valid_but_undecodable_blob(self, registry):
+        registry.publish("junk", b"hash-consistent but not a model")
+        with pytest.raises(CorruptModelBlob, match="does not decode"):
+            registry.load("junk")
+
+    def test_corrupt_manifest_is_actionable(self, registry,
+                                            trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        manifest = os.path.join(registry.root, "models", "gcut.json")
+        open(manifest, "w").write("{not json")
+        with pytest.raises(RegistryError, match="unreadable or corrupt"):
+            registry.resolve("gcut")
+
+    def test_manifest_without_versions_is_actionable(self, registry,
+                                                     trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        manifest = os.path.join(registry.root, "models", "gcut.json")
+        open(manifest, "w").write(json.dumps({"name": "gcut"}))
+        with pytest.raises(RegistryError, match="no version list"):
+            registry.resolve("gcut")
+
+
+def test_publish_is_atomic_against_leftover_tmp(registry, trained_dg_gcut):
+    """A crash artifact (.tmp file) never shadows published state."""
+    record = registry.publish("gcut", trained_dg_gcut)
+    leftovers = [f for f in os.listdir(os.path.join(registry.root, "blobs"))
+                 if f.endswith(".tmp")]
+    assert leftovers == []
+    assert registry.resolve("gcut") == record
