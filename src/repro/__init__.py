@@ -11,6 +11,9 @@ The package is organised as:
   (attributes + variable-length feature series) plus synthetic simulators
   standing in for the three paper datasets (WWT, MBA, GCUT).
 - :mod:`repro.core` -- the DoppelGANger model itself.
+- :mod:`repro.backends` -- the pluggable :class:`GeneratorBackend` seam:
+  DoppelGANger, the baselines, and the dual-layer DLGAN behind one
+  registry-addressable interface.
 - :mod:`repro.baselines` -- HMM, auto-regressive MLP, RNN, and naive GAN
   baselines evaluated in the paper.
 - :mod:`repro.metrics` -- fidelity metrics (autocorrelation, Wasserstein-1,
@@ -24,12 +27,17 @@ The package is organised as:
 
 __version__ = "1.0.0"
 
-__all__ = ["DoppelGANger", "DGConfig", "TimeSeriesDataset", "__version__"]
+__all__ = ["DoppelGANger", "DGConfig", "TimeSeriesDataset",
+           "GeneratorBackend", "get_backend", "register_backend",
+           "__version__"]
 
 _LAZY = {
     "DoppelGANger": ("repro.core.doppelganger", "DoppelGANger"),
     "DGConfig": ("repro.core.config", "DGConfig"),
     "TimeSeriesDataset": ("repro.data.dataset", "TimeSeriesDataset"),
+    "GeneratorBackend": ("repro.backends", "GeneratorBackend"),
+    "get_backend": ("repro.backends", "get_backend"),
+    "register_backend": ("repro.backends", "register_backend"),
 }
 
 

@@ -42,9 +42,15 @@ import numpy as np
 from repro.core.config import DGConfig
 from repro.core.doppelganger import DoppelGANger
 from repro.data.dataset import TimeSeriesDataset
-from repro.data.simulators import generate_gcut, generate_mba, generate_wwt
+from repro.data.simulators import (generate_flashcrowd, generate_gcut,
+                                   generate_mba, generate_regime,
+                                   generate_wwt)
 
 __all__ = ["main", "build_parser"]
+
+_DATASET_CHOICES = ("wwt", "mba", "gcut", "flashcrowd", "regime")
+_BACKEND_CHOICES = ("doppelganger", "dg", "dlgan", "hmm", "ar", "rnn",
+                    "naive_gan")
 
 
 class _CliError(Exception):
@@ -72,12 +78,19 @@ def _load_dataset(path: str) -> TimeSeriesDataset:
                         f"({exc})") from None
 
 
-def _load_model(path: str) -> DoppelGANger:
+def _load_model(path: str):
+    """Load a model file of any backend; returns ``(model, backend)``.
+
+    The archive's backend is sniffed from its self-describing metadata,
+    so files written before ``--backend`` existed load as DoppelGANger.
+    """
+    from repro.backends import load_model_file
+
     try:
-        return DoppelGANger.load(path)
+        return load_model_file(path)
     except FileNotFoundError:
-        raise _CliError(f"model file {path!r} does not exist; train one "
-                        f"with 'train' first") from None
+        raise _CliError(f"cannot load model {path!r}: the file does not "
+                        f"exist; train one with 'train' first") from None
     except (OSError, EOFError, ValueError, KeyError,
             zipfile.BadZipFile) as exc:
         raise _CliError(f"cannot load model {path!r}: {exc}") from None
@@ -90,17 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="generate a synthetic source "
                                           "dataset (WWT/MBA/GCUT simulator)")
-    sim.add_argument("--dataset", choices=("wwt", "mba", "gcut"),
-                     required=True)
+    sim.add_argument("--dataset", choices=_DATASET_CHOICES, required=True)
     sim.add_argument("--n", type=int, default=400)
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--length", type=int, default=None,
                      help="series length (dataset-specific default)")
     sim.add_argument("--out", required=True)
 
-    train = sub.add_parser("train", help="train DoppelGANger on a dataset")
+    train = sub.add_parser("train", help="train a generator on a dataset "
+                                         "(any registered backend)")
     train.add_argument("--data", required=True)
     train.add_argument("--out", required=True)
+    train.add_argument("--backend", choices=_BACKEND_CHOICES,
+                       default="doppelganger",
+                       help="generator architecture (default: the "
+                            "paper's DoppelGANger)")
     train.add_argument("--iterations", type=int, default=400)
     train.add_argument("--sample-len", type=int, default=None,
                        help="batching parameter S (default: auto, T/S~25)")
@@ -144,9 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="train a (dataset x model x seed) "
                                          "grid, optionally in parallel")
     sweep.add_argument("--datasets", nargs="+", required=True,
-                       choices=("wwt", "mba", "gcut"))
+                       choices=_DATASET_CHOICES)
     sweep.add_argument("--models", nargs="+", required=True,
-                       choices=("dg", "ar", "rnn", "hmm", "naive_gan"))
+                       choices=_BACKEND_CHOICES)
     sweep.add_argument("--scale", choices=("bench", "tiny"), default="bench")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (any value gives identical "
@@ -243,6 +260,10 @@ def _cmd_simulate(args) -> int:
                             long_period=28)
     elif args.dataset == "mba":
         data = generate_mba(args.n, rng, length=args.length or 56)
+    elif args.dataset == "flashcrowd":
+        data = generate_flashcrowd(args.n, rng, length=args.length or 56)
+    elif args.dataset == "regime":
+        data = generate_regime(args.n, rng, max_length=args.length or 48)
     else:
         data = generate_gcut(args.n, rng, max_length=args.length or 24)
     data.save(_ensure_parent(args.out))
@@ -250,10 +271,47 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _train_other_backend(args, data) -> int:
+    """Train a non-DoppelGANger backend from bench-scale defaults.
+
+    The rich training flags (checkpointing, sentinel, sample-len) are
+    DoppelGANger-specific; other backends train from their bench-scale
+    config with ``--iterations/--batch-size/--hidden/--seed`` applied
+    where the architecture has a matching knob.
+    """
+    from repro.backends import get_backend
+    from repro.experiments.configs import BENCH
+
+    for flag, name in [(args.checkpoint, "--checkpoint"),
+                       (args.resume, "--resume"),
+                       (args.sentinel, "--sentinel"),
+                       (args.sample_len, "--sample-len"),
+                       (args.telemetry, "--telemetry")]:
+        if flag:
+            raise _CliError(f"{name} is only supported by the "
+                            f"doppelganger backend")
+    backend = get_backend(args.backend)
+    width = args.hidden
+    config = backend.make_config(
+        "custom", BENCH, seed=args.seed, iterations=args.iterations,
+        batch_size=args.batch_size, hidden=(width, width),
+        generator_hidden=(width, width),
+        discriminator_hidden=(width, width))
+    model = backend.from_config(data.schema, config)
+    backend.fit(model, data)
+    with open(args.out, "wb") as handle:
+        handle.write(backend.save_bytes(model))
+    print(f"model parameters written to {args.out} "
+          f"(backend {backend.name})")
+    return 0
+
+
 def _cmd_train(args) -> int:
     data = _load_dataset(args.data)
     _ensure_parent(args.out)
     _ensure_parent(args.checkpoint)
+    if args.backend not in ("doppelganger", "dg"):
+        return _train_other_backend(args, data)
     sample_len = args.sample_len or DGConfig.recommended_sample_len(
         data.schema.max_length, target_passes=25)
     width = args.hidden
@@ -313,19 +371,19 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_generate(args) -> int:
-    model = _load_model(args.model)
+    model, backend = _load_model(args.model)
     _ensure_parent(args.out)
     if args.telemetry:
         from repro.observability import TelemetryRun
         with TelemetryRun(args.telemetry, run_id="generate") as run:
-            synthetic = model.generate(
-                args.n, rng=np.random.default_rng(args.seed),
+            synthetic = backend.generate(
+                model, args.n, rng=np.random.default_rng(args.seed),
                 workers=args.workers)
         paths = run.finalize()
         print(f"telemetry written to {paths['events']}")
     else:
-        synthetic = model.generate(
-            args.n, rng=np.random.default_rng(args.seed),
+        synthetic = backend.generate(
+            model, args.n, rng=np.random.default_rng(args.seed),
             workers=args.workers)
     synthetic.save(args.out)
     print(f"wrote {args.n} synthetic objects to {args.out}")
@@ -385,7 +443,7 @@ def _cmd_metrics(args) -> int:
 def _cmd_publish(args) -> int:
     from repro.serve import ModelRegistry, RegistryError
 
-    model = _load_model(args.model)
+    model, backend = _load_model(args.model)
     meta = {}
     if args.meta:
         try:
@@ -396,11 +454,13 @@ def _cmd_publish(args) -> int:
             raise _CliError("--meta must be a JSON object")
     try:
         registry = ModelRegistry(args.registry)
-        record = registry.publish(args.name, model, meta=meta)
+        record = registry.publish(args.name, model, meta=meta,
+                                  backend=backend.name)
     except RegistryError as exc:
         raise _CliError(str(exc)) from None
-    print(f"published {record.spec} (sha256 {record.sha256[:12]}..., "
-          f"{record.nbytes} bytes) to {args.registry}")
+    print(f"published {record.spec} (backend {record.backend}, sha256 "
+          f"{record.sha256[:12]}..., {record.nbytes} bytes) to "
+          f"{args.registry}")
     return 0
 
 
@@ -460,7 +520,7 @@ def _cmd_serve(args) -> int:
 def _cmd_bench_serve(args) -> int:
     from repro.serve.bench import check_result_schema, run_serving_benchmark
 
-    model = _load_model(args.model) if args.model else None
+    model = _load_model(args.model)[0] if args.model else None
     _ensure_parent(args.output)
     result = run_serving_benchmark(
         model, concurrency=args.concurrency,

@@ -27,7 +27,7 @@ from repro.data.encoding import DataEncoder
 from repro.data.schema import DataSchema, schema_from_dict, schema_to_dict
 from repro.nn import Tensor, grad, no_grad
 
-__all__ = ["DoppelGANger"]
+__all__ = ["DoppelGANger", "config_to_dict", "config_from_dict"]
 
 
 class DoppelGANger:
@@ -358,7 +358,7 @@ class DoppelGANger:
         self._require_trained()
         meta = {
             "schema": schema_to_dict(self.schema),
-            "config": _config_to_dict(self.config),
+            "config": config_to_dict(self.config),
             "encoder": self.encoder.state(),
         }
         arrays = {"__meta__": np.frombuffer(
@@ -379,7 +379,7 @@ class DoppelGANger:
         weights = {key: value for key, value in arrays.items()
                    if key != "__meta__"}
         schema = schema_from_dict(meta["schema"])
-        config = _config_from_dict(meta["config"])
+        config = config_from_dict(meta["config"])
         model = cls(schema, config)
         model.encoder.load_state(meta["encoder"])
         model._build()
@@ -447,12 +447,14 @@ class DoppelGANger:
             raise RuntimeError("model has not been fit() yet")
 
 
-def _config_to_dict(config: DGConfig) -> dict:
+def config_to_dict(config: DGConfig) -> dict:
+    """A :class:`DGConfig` as a plain JSON-serializable dict."""
     data = dataclasses.asdict(config)
     return data
 
 
-def _config_from_dict(data: dict) -> DGConfig:
+def config_from_dict(data: dict) -> DGConfig:
+    """Inverse of :func:`config_to_dict` (lists become tuples)."""
     data = dict(data)
     dp = data.pop("dp", None)
     config = DGConfig(**{k: tuple(v) if isinstance(v, list) else v

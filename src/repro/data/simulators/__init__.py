@@ -8,11 +8,19 @@ correlation, multi-dimensional features, variable lengths, wide dynamic
 range, and the schemas of Tables 5-7.
 """
 
+from repro.data.simulators.flashcrowd import (FLASHCROWD_CATEGORIES,
+                                              FLASHCROWD_TIERS,
+                                              generate_flashcrowd,
+                                              make_flashcrowd_schema)
 from repro.data.simulators.gcut import (GCUT_END_EVENT_TYPES, GCUT_FEATURES,
                                         generate_gcut, make_gcut_schema)
 from repro.data.simulators.mba import (MBA_ISPS, MBA_STATES,
                                        MBA_TECHNOLOGIES, generate_mba,
                                        make_mba_schema)
+from repro.data.simulators.regime import (REGIME_REGIONS,
+                                          REGIME_SERVICE_CLASSES,
+                                          generate_regime,
+                                          make_regime_schema)
 from repro.data.simulators.wwt import (WWT_ACCESS_TYPES, WWT_AGENTS,
                                        WWT_DOMAINS, generate_wwt,
                                        make_wwt_schema)
@@ -24,4 +32,8 @@ __all__ = [
     "MBA_TECHNOLOGIES", "MBA_ISPS", "MBA_STATES",
     "generate_gcut", "make_gcut_schema",
     "GCUT_END_EVENT_TYPES", "GCUT_FEATURES",
+    "generate_flashcrowd", "make_flashcrowd_schema",
+    "FLASHCROWD_CATEGORIES", "FLASHCROWD_TIERS",
+    "generate_regime", "make_regime_schema",
+    "REGIME_SERVICE_CLASSES", "REGIME_REGIONS",
 ]

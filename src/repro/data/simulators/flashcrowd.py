@@ -1,0 +1,98 @@
+"""Synthetic flash-crowd CDN traffic dataset.
+
+Models the bursty workload the paper's §7 flags as an open question for
+GAN fidelity: long quiet baselines punctuated by *flash crowds* -- sudden
+order-of-magnitude request surges with fast onset and slow decay (think a
+link going viral or a breaking-news spike).  Reproduced properties:
+
+- one continuous feature: requests per interval, with a wide dynamic
+  range between quiet and surge periods (the auto-normalisation
+  stressor, §4.1.3);
+- two categorical attributes: content category and CDN tier, both of
+  which shape baseline level and burstiness;
+- a diurnal baseline period plus heavy-tailed surge magnitudes, so the
+  temporal structure has both a periodic and an episodic component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.schema import CategoricalSpec, ContinuousSpec, DataSchema
+
+__all__ = ["FLASHCROWD_CATEGORIES", "FLASHCROWD_TIERS",
+           "make_flashcrowd_schema", "generate_flashcrowd"]
+
+FLASHCROWD_CATEGORIES = ("news", "video", "software", "social")
+FLASHCROWD_TIERS = ("edge", "regional", "origin")
+
+# News and social content flash far more often than software mirrors.
+_CATEGORY_WEIGHTS = np.array([1.5, 2.0, 0.8, 1.7])
+_CATEGORY_BURST_RATE = np.array([0.12, 0.06, 0.02, 0.09])
+_CATEGORY_LOG_LEVEL = np.array([0.6, 1.4, 0.2, 0.9])
+
+_TIER_WEIGHTS = np.array([3.0, 1.5, 1.0])
+_TIER_LOG_LEVEL = np.array([1.0, 0.3, -0.5])
+
+
+def make_flashcrowd_schema(length: int = 56) -> DataSchema:
+    """Fixed-length request-rate series with two categorical attributes."""
+    return DataSchema(
+        attributes=(
+            CategoricalSpec("content_category", FLASHCROWD_CATEGORIES),
+            CategoricalSpec("cdn_tier", FLASHCROWD_TIERS),
+        ),
+        features=(ContinuousSpec("requests_per_interval", low=0.0),),
+        max_length=length,
+        collection_period="hourly",
+    )
+
+
+def generate_flashcrowd(n: int, rng: np.random.Generator, length: int = 56,
+                        diurnal_period: int = 8,
+                        decay: float = 0.55) -> TimeSeriesDataset:
+    """Generate ``n`` synthetic CDN request-rate series.
+
+    Args:
+        n: Number of objects (content items).
+        rng: Source of randomness.
+        length: Series length.
+        diurnal_period: Period of the baseline daily cycle.
+        decay: Per-step geometric decay of a surge after its onset peak.
+    """
+    schema = make_flashcrowd_schema(length)
+    category = rng.choice(len(FLASHCROWD_CATEGORIES), size=n,
+                          p=_CATEGORY_WEIGHTS / _CATEGORY_WEIGHTS.sum())
+    tier = rng.choice(len(FLASHCROWD_TIERS), size=n,
+                      p=_TIER_WEIGHTS / _TIER_WEIGHTS.sum())
+
+    t = np.arange(length)
+    log_level = (2.0 + _CATEGORY_LOG_LEVEL[category] + _TIER_LOG_LEVEL[tier]
+                 + rng.normal(0.0, 0.8, size=n))
+    level = np.exp(log_level)
+
+    phase = rng.uniform(0, 2 * np.pi, size=n)
+    diurnal = 1.0 + 0.35 * np.sin(2 * np.pi * t[None, :] / diurnal_period
+                                  + phase[:, None])
+
+    # Episodic surges: Bernoulli onsets at a category-dependent rate, each
+    # with a Pareto-ish magnitude, then geometric decay.  The convolution
+    # is a simple forward recurrence so surges overlap additively.
+    onset = (rng.random((n, length))
+             < _CATEGORY_BURST_RATE[category][:, None]).astype(np.float64)
+    magnitude = onset * (rng.pareto(2.5, size=(n, length)) + 1.0) * 8.0
+    surge = np.zeros((n, length))
+    carry = np.zeros(n)
+    for step in range(length):
+        carry = carry * decay + magnitude[:, step]
+        surge[:, step] = carry
+
+    noise = rng.gamma(shape=25.0, scale=1.0 / 25.0, size=(n, length))
+    requests = np.maximum(level[:, None] * (diurnal + surge) * noise, 0.0)
+
+    features = requests[:, :, None]
+    attributes = np.stack([category, tier], axis=1).astype(np.float64)
+    lengths = np.full(n, length, dtype=np.int64)
+    return TimeSeriesDataset(schema=schema, attributes=attributes,
+                             features=features, lengths=lengths)

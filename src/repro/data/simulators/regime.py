@@ -1,0 +1,120 @@
+"""Synthetic regime-switching workload dataset.
+
+Models a service whose load alternates between *latent regimes* (idle,
+steady, overload) driven by a Markov chain -- the long-range dependence
+structure that single-scale RNN generators smooth away (the Figure-7
+class of failure, but in levels rather than durations).  Reproduced
+properties:
+
+- two continuous features: utilisation (bounded [0, 1]) and queue depth
+  (unbounded, regime-amplified), so bounded and wide-range channels
+  coexist in one schema;
+- two categorical attributes: service class (shapes the regime
+  transition matrix) and deployment region (shifts levels);
+- **variable-length** series: overloaded services get terminated early,
+  so series length correlates with the attribute/regime joint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.schema import CategoricalSpec, ContinuousSpec, DataSchema
+
+__all__ = ["REGIME_SERVICE_CLASSES", "REGIME_REGIONS",
+           "make_regime_schema", "generate_regime"]
+
+REGIME_SERVICE_CLASSES = ("batch", "interactive", "streaming")
+REGIME_REGIONS = ("us-east", "eu-west", "ap-south")
+
+_CLASS_WEIGHTS = np.array([1.2, 2.0, 1.0])
+_REGION_WEIGHTS = np.array([2.0, 1.4, 1.0])
+_REGION_QUEUE_LOG_LEVEL = np.array([0.5, 0.1, -0.3])
+
+# Latent regimes: idle, steady, overload.
+_REGIME_UTIL = np.array([0.12, 0.45, 0.85])
+_REGIME_QUEUE_SCALE = np.array([0.5, 2.0, 12.0])
+
+# Per-service-class regime transition matrices (rows sum to 1).  Batch
+# jobs swing hard between idle and overload; interactive services hold
+# steady; streaming sits high with sticky overloads.
+_TRANSITIONS = np.array([
+    [[0.70, 0.15, 0.15],
+     [0.25, 0.50, 0.25],
+     [0.30, 0.20, 0.50]],
+    [[0.55, 0.40, 0.05],
+     [0.10, 0.80, 0.10],
+     [0.10, 0.50, 0.40]],
+    [[0.40, 0.50, 0.10],
+     [0.05, 0.70, 0.25],
+     [0.05, 0.30, 0.65]],
+])
+_INITIAL = np.array([[0.6, 0.3, 0.1],
+                     [0.2, 0.7, 0.1],
+                     [0.1, 0.6, 0.3]])
+
+#: Per-step termination probability while in the overload regime.
+_OVERLOAD_KILL_PROB = 0.12
+
+
+def make_regime_schema(max_length: int = 48) -> DataSchema:
+    """Variable-length two-channel series with two categorical attributes."""
+    return DataSchema(
+        attributes=(
+            CategoricalSpec("service_class", REGIME_SERVICE_CLASSES),
+            CategoricalSpec("region", REGIME_REGIONS),
+        ),
+        features=(
+            ContinuousSpec("utilization", low=0.0, high=1.0),
+            ContinuousSpec("queue_depth", low=0.0),
+        ),
+        max_length=max_length,
+        collection_period="5 minutes",
+    )
+
+
+def generate_regime(n: int, rng: np.random.Generator,
+                    max_length: int = 48) -> TimeSeriesDataset:
+    """Generate ``n`` synthetic regime-switching workload traces."""
+    schema = make_regime_schema(max_length)
+    service = rng.choice(len(REGIME_SERVICE_CLASSES), size=n,
+                         p=_CLASS_WEIGHTS / _CLASS_WEIGHTS.sum())
+    region = rng.choice(len(REGIME_REGIONS), size=n,
+                        p=_REGION_WEIGHTS / _REGION_WEIGHTS.sum())
+
+    # Simulate the per-object Markov chain; an overload step may kill the
+    # service, which is what makes lengths attribute-dependent.
+    regimes = np.zeros((n, max_length), dtype=np.int64)
+    lengths = np.full(n, max_length, dtype=np.int64)
+    state = np.array([rng.choice(3, p=_INITIAL[s]) for s in service])
+    alive = np.ones(n, dtype=bool)
+    for step in range(max_length):
+        regimes[:, step] = state
+        overloaded = alive & (state == 2)
+        killed = overloaded & (rng.random(n) < _OVERLOAD_KILL_PROB)
+        lengths[killed] = step + 1
+        alive &= ~killed
+        nxt = np.empty(n, dtype=np.int64)
+        u = rng.random(n)
+        for s in range(len(_TRANSITIONS)):
+            mask = service == s
+            cum = np.cumsum(_TRANSITIONS[s][state[mask]], axis=1)
+            nxt[mask] = (u[mask][:, None] > cum).sum(axis=1)
+        state = nxt
+    lengths = np.maximum(lengths, 1)
+
+    util_noise = rng.normal(0.0, 0.06, size=(n, max_length))
+    util = np.clip(_REGIME_UTIL[regimes] + util_noise, 0.0, 1.0)
+
+    queue_level = np.exp(_REGION_QUEUE_LOG_LEVEL[region]
+                         + rng.normal(0.0, 0.4, size=n))
+    queue_noise = rng.gamma(shape=6.0, scale=1.0 / 6.0,
+                            size=(n, max_length))
+    queue = (queue_level[:, None] * _REGIME_QUEUE_SCALE[regimes]
+             * queue_noise)
+
+    features = np.stack([util, queue], axis=2)
+    attributes = np.stack([service, region], axis=1).astype(np.float64)
+    return TimeSeriesDataset(schema=schema, attributes=attributes,
+                             features=features, lengths=lengths)

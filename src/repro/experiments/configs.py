@@ -19,7 +19,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.config import DGConfig
-from repro.data.simulators import generate_gcut, generate_mba, generate_wwt
+from repro.data.simulators import (generate_flashcrowd, generate_gcut,
+                                   generate_mba, generate_regime,
+                                   generate_wwt)
 
 __all__ = ["BenchScale", "BENCH", "TINY", "SCALES", "make_dataset",
            "make_dg_config", "baseline_kwargs"]
@@ -35,6 +37,8 @@ class BenchScale:
     wwt_long_period: int = 28
     mba_length: int = 56
     gcut_length: int = 24
+    flashcrowd_length: int = 56
+    regime_length: int = 48
     dg_iterations: int = 800
     baseline_iterations: int = 300
     hidden_width: int = 64
@@ -50,6 +54,7 @@ BENCH = BenchScale()
 # parallel-sweep benchmark, where only determinism and plumbing matter.
 TINY = BenchScale(n_samples=30, wwt_length=14, wwt_short_period=7,
                   wwt_long_period=14, mba_length=8, gcut_length=8,
+                  flashcrowd_length=12, regime_length=12,
                   dg_iterations=4, baseline_iterations=4, hidden_width=12,
                   rnn_units=8, batch_size=8)
 
@@ -69,6 +74,10 @@ def make_dataset(name: str, scale: BenchScale = BENCH, seed: int | None = None,
         return generate_mba(n, rng, length=scale.mba_length)
     if name == "gcut":
         return generate_gcut(n, rng, max_length=scale.gcut_length)
+    if name == "flashcrowd":
+        return generate_flashcrowd(n, rng, length=scale.flashcrowd_length)
+    if name == "regime":
+        return generate_regime(n, rng, max_length=scale.regime_length)
     raise ValueError(f"unknown dataset {name!r}")
 
 
@@ -76,11 +85,14 @@ def make_dg_config(dataset_name: str, scale: BenchScale = BENCH,
                    **overrides) -> DGConfig:
     """Bench-scale DoppelGANger config for one dataset."""
     lengths = {"wwt": scale.wwt_length, "mba": scale.mba_length,
-               "gcut": scale.gcut_length}
+               "gcut": scale.gcut_length,
+               "flashcrowd": scale.flashcrowd_length,
+               "regime": scale.regime_length}
     length = lengths[dataset_name]
     # S chosen so one RNN pass covers a natural period of the data (§4.4's
     # "use the collection frequency"): a week for WWT, a day for MBA.
-    sample_len = {"wwt": 7, "mba": 4, "gcut": 4}[dataset_name]
+    sample_len = {"wwt": 7, "mba": 4, "gcut": 4,
+                  "flashcrowd": 4, "regime": 4}[dataset_name]
     # MBA's heavy-tailed byte counters need the saturation guard and a
     # longer schedule (see EXPERIMENTS.md notes on Table 3).
     per_dataset = {

@@ -23,11 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baselines import (ARBaseline, HMMBaseline, NaiveGANBaseline,
-                             RNNBaseline)
-from repro.core.doppelganger import DoppelGANger
-from repro.experiments.configs import (BENCH, BenchScale, baseline_kwargs,
-                                       make_dataset, make_dg_config)
+from repro.experiments.configs import BENCH, BenchScale, make_dataset
 from repro.nn import profiler as nn_profiler
 from repro.resilience.failures import FailureRecord
 from repro.resilience.faults import SimulatedKill
@@ -36,9 +32,12 @@ __all__ = ["MODEL_NAMES", "get_dataset", "get_model", "get_split",
            "print_table", "print_series", "clear_cache", "configure_cache",
            "get_failures", "run_sweep", "SweepResult", "LRUCache"]
 
-# Paper display names, in the order figures list them.
+# Paper display names, in the order figures list them; ``dg`` is the
+# historical short name (an alias of the ``doppelganger`` backend).
 MODEL_NAMES = {
     "dg": "DoppelGANger",
+    "doppelganger": "DoppelGANger",
+    "dlgan": "DLGAN",
     "ar": "AR",
     "rnn": "RNN",
     "hmm": "HMM",
@@ -146,18 +145,13 @@ def get_split(dataset_name: str, model_name: str, scale: BenchScale = BENCH):
 
 def _build_model(dataset_name: str, model_name: str, scale: BenchScale,
                  schema, seed: int | None = None, **config_overrides):
-    if model_name == "dg":
-        if seed is not None:
-            config_overrides = {**config_overrides, "seed": seed}
-        return DoppelGANger(schema,
-                            make_dg_config(dataset_name, scale,
-                                           **config_overrides))
-    classes = {"hmm": HMMBaseline, "ar": ARBaseline, "rnn": RNNBaseline,
-               "naive_gan": NaiveGANBaseline}
-    kwargs = baseline_kwargs(model_name, scale)
-    if seed is not None:
-        kwargs["seed"] = seed
-    return classes[model_name](**kwargs)
+    """Construct an untrained model through the backend registry."""
+    from repro.backends import get_backend
+
+    backend = get_backend(model_name)
+    config = backend.make_config(dataset_name, scale, seed=seed,
+                                 **config_overrides)
+    return backend.from_config(schema, config)
 
 
 def get_model(dataset_name: str, model_name: str, scale: BenchScale = BENCH,
@@ -165,13 +159,24 @@ def get_model(dataset_name: str, model_name: str, scale: BenchScale = BENCH,
               **config_overrides):
     """Train (or fetch the cached) model for a dataset.
 
-    ``config_overrides`` only apply to DoppelGANger variants (ablations);
-    give such variants a distinct ``cache_tag``.  ``seed`` overrides the
-    scale's training seed for any model type (used by multi-seed sweeps).
+    ``model_name`` is any registered backend name or alias (``dg`` is
+    an alias of ``doppelganger``); the cache key uses the canonical
+    backend name so aliases share one entry.  ``config_overrides`` that
+    do not apply to the chosen architecture are ignored by its backend;
+    give ablation variants a distinct ``cache_tag``.  ``seed`` overrides
+    the scale's training seed for any model type (used by multi-seed
+    sweeps).  A custom ``train_data`` is keyed by its content
+    fingerprint, so two equal datasets share a cache entry regardless of
+    object identity.
     """
-    key = (dataset_name, model_name, scale, cache_tag, seed,
+    from repro.backends import get_backend
+    from repro.parallel.cache import dataset_fingerprint
+
+    backend = get_backend(model_name)
+    key = (dataset_name, backend.name, scale, cache_tag, seed,
            tuple(sorted(config_overrides.items())),
-           id(train_data) if train_data is not None else None)
+           dataset_fingerprint(train_data) if train_data is not None
+           else None)
     if key in _MODELS:
         return _MODELS[key]
     data = train_data if train_data is not None else get_dataset(

@@ -34,7 +34,6 @@ worker-count invariant.
 
 from __future__ import annotations
 
-import dataclasses
 import os
 import time
 from dataclasses import dataclass
@@ -140,19 +139,19 @@ def build_cells(dataset_names, model_names, seeds,
 
 
 def _cell_config(cell: SweepCell, scale, config_overrides: dict) -> dict:
-    """The full, fingerprintable configuration of one cell."""
-    from repro.experiments.configs import baseline_kwargs, make_dg_config
+    """The full, fingerprintable configuration of one cell.
 
-    if cell.model == "dg":
-        overrides = dict(config_overrides)
-        if cell.seed is not None:
-            overrides["seed"] = cell.seed
-        config = make_dg_config(cell.dataset, scale, **overrides)
-        return {"model": "dg", "config": dataclasses.asdict(config)}
-    kwargs = baseline_kwargs(cell.model, scale)
-    if cell.seed is not None:
-        kwargs["seed"] = cell.seed
-    return {"model": cell.model, "kwargs": kwargs}
+    Delegates to the cell's backend so every architecture -- not just
+    DoppelGANger -- contributes its complete hyper-parameter set to the
+    on-disk cache key.  The canonical backend name is part of the key,
+    so an alias (``dg``) and its canonical form share cache entries.
+    """
+    from repro.backends import get_backend
+
+    backend = get_backend(cell.model)
+    config = backend.make_config(cell.dataset, scale, seed=cell.seed,
+                                 **config_overrides)
+    return {"backend": backend.name, "config": config}
 
 
 def _run_cell(payload) -> CellOutcome:

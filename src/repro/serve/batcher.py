@@ -102,7 +102,12 @@ class MicroBatcher:
     """Coalesce concurrent generation requests against one model.
 
     Args:
-        model: A trained :class:`~repro.core.doppelganger.DoppelGANger`.
+        model: A trained model of any registered backend.  Models with
+            DoppelGANger's block API (``_draw_block_noise`` /
+            ``_generate_block``) get block-level coalescing; any other
+            model runs in *opaque* mode, where each request executes as
+            one ``generate(n, rng)`` call (trivially byte-identical to
+            direct generation, coalescing only across requests).
         max_batch_rows: Target rows per execution bundle *and* the block
             size requests are planned with (clamped to the model's
             ``batch_size``).  The default (``None``) uses the model's
@@ -116,6 +121,9 @@ class MicroBatcher:
         name: Label used in thread names and error messages.
     """
 
+    #: Rows per bundle for models without block-level generation.
+    OPAQUE_BATCH_ROWS = 64
+
     def __init__(self, model, *, max_batch_rows: int | None = None,
                  max_wait_ms: float = 2.0, max_queue_rows: int = 4096,
                  name: str = "model"):
@@ -127,9 +135,21 @@ class MicroBatcher:
             raise ValueError("max_wait_ms must be >= 0")
         self.model = model
         self.name = str(name)
-        model_batch = int(model.config.batch_size)
-        self.max_batch_rows = int(max_batch_rows or model_batch)
-        self.plan_rows = min(self.max_batch_rows, model_batch)
+        # Models exposing DoppelGANger's block API get block-level
+        # coalescing; any other backend's model falls back to *opaque*
+        # requests -- each request runs as one model.generate(n, rng)
+        # call with its own seeded rng, which is byte-identical to
+        # direct generation by construction (no repacking to undo).
+        self._block_mode = (hasattr(model, "_generate_block")
+                            and hasattr(model, "_draw_block_noise"))
+        if self._block_mode:
+            model_batch = int(model.config.batch_size)
+            self.max_batch_rows = int(max_batch_rows or model_batch)
+            self.plan_rows = min(self.max_batch_rows, model_batch)
+        else:
+            self.max_batch_rows = int(max_batch_rows
+                                      or self.OPAQUE_BATCH_ROWS)
+            self.plan_rows = self.max_batch_rows
         self.max_wait_ms = float(max_wait_ms)
         self.max_queue_rows = int(max_queue_rows)
         self._lock = threading.Lock()
@@ -145,6 +165,8 @@ class MicroBatcher:
     @property
     def deterministic(self) -> bool:
         """Whether served output matches direct ``generate()`` byte-wise."""
+        if not self._block_mode:
+            return True  # whole-request execution, nothing is repacked
         return self.plan_rows == int(self.model.config.batch_size)
 
     # -- admission -----------------------------------------------------------
@@ -160,11 +182,18 @@ class MicroBatcher:
         n = int(n)
         if n < 0:
             raise ValueError("n must be >= 0")
-        # Plan (and draw noise) outside the lock: rng work per request is
-        # independent, only queue accounting needs exclusion.
-        rng = np.random.default_rng(int(seed))
-        blocks = plan_request(self.model, n, rng,
-                              block_rows=self.plan_rows)
+        if self._block_mode:
+            # Plan (and draw noise) outside the lock: rng work per
+            # request is independent, only queue accounting needs
+            # exclusion.
+            rng = np.random.default_rng(int(seed))
+            plan = plan_request(self.model, n, rng,
+                                block_rows=self.plan_rows)
+            blocks = [(b.size, b.noise, b.cond) for b in plan]
+        else:
+            # Opaque mode: the whole request is one executable unit,
+            # carrying its seed instead of pre-drawn noise.
+            blocks = [(n, (int(seed),), None)] if n else []
         future: Future = Future()
         pending = _Pending(n=n, future=future,
                            parts=[None] * len(blocks),
@@ -185,11 +214,10 @@ class MicroBatcher:
                 # n == 0: nothing to execute, complete immediately.
                 future.set_result(self._assemble(pending))
                 return future
-            for index, block in enumerate(blocks):
+            for index, (size, noise, cond) in enumerate(blocks):
                 self._queue.append(_Block(pending=pending, index=index,
-                                          size=block.size,
-                                          noise=block.noise,
-                                          cond=block.cond))
+                                          size=size, noise=noise,
+                                          cond=cond))
             self._queued_rows += n
             obs_metrics.gauge("serve.queue_rows").set(self._queued_rows)
             self._work.notify()
@@ -232,8 +260,11 @@ class MicroBatcher:
 
         Decoding happens on the full ``(n, ...)`` arrays, exactly as
         :meth:`DoppelGANger.generate` does after its own block loop.
+        In opaque mode the single part already *is* the decoded dataset.
         """
         encoder = self.model.encoder
+        if not self._block_mode and pending.parts:
+            return pending.parts[0]
         if pending.parts:
             attrs, minmax, features = (
                 np.concatenate([part[i] for part in pending.parts])
@@ -267,13 +298,18 @@ class MicroBatcher:
                 if pending.future.done():  # failed or cancelled earlier
                     continue
                 try:
-                    triple = self.model._generate_block(block.size,
-                                                        block.noise,
-                                                        block.cond)
+                    if self._block_mode:
+                        part = self.model._generate_block(block.size,
+                                                          block.noise,
+                                                          block.cond)
+                    else:
+                        part = self.model.generate(
+                            block.size,
+                            rng=np.random.default_rng(block.noise[0]))
                 except BaseException as exc:  # surface, don't kill worker
                     self._settle(pending.future, exc=exc)
                     continue
-                pending.parts[block.index] = triple
+                pending.parts[block.index] = part
                 pending.rows_done += block.size
                 pending.remaining -= 1
                 if pending.remaining == 0:

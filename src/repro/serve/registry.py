@@ -12,9 +12,13 @@ and the request path that makes that shipment *named*, *versioned*, and
 Design points:
 
 - **Content addressing**: a blob is stored under the sha256 of its
-  :meth:`DoppelGANger.save_bytes` archive.  Republishing identical bytes
-  is a no-op (the latest version is returned), and two names pointing at
-  the same parameters share one blob.
+  backend's ``save_bytes`` archive.  Republishing identical bytes is a
+  no-op (the latest version is returned), and two names pointing at the
+  same parameters share one blob.
+- **Backend tags**: every version entry records which generator backend
+  (:mod:`repro.backends`) produced the blob, so ``load`` dispatches to
+  the right decoder.  Entries written before tags existed default to
+  ``doppelganger``.
 - **Atomic publish**: blobs and manifests are written with the same
   tmp + ``fsync`` + ``os.replace`` discipline as
   :mod:`repro.resilience.checkpoint`, so a crash mid-publish leaves
@@ -60,12 +64,18 @@ class CorruptModelBlob(RegistryError):
 
 @dataclass(frozen=True, eq=True)
 class ModelRecord:
-    """One published (name, version) -> blob binding."""
+    """One published (name, version) -> blob binding.
+
+    ``backend`` is the generator-backend tag the blob decodes through;
+    manifests written before backend tags existed have no entry and
+    default to ``doppelganger`` (the only architecture back then).
+    """
 
     name: str
     version: int
     sha256: str
     nbytes: int
+    backend: str = "doppelganger"
     meta: dict = field(default_factory=dict, compare=False)
 
     @property
@@ -127,26 +137,45 @@ class ModelRegistry:
         return ModelRecord(name=name, version=int(entry["version"]),
                            sha256=str(entry["sha256"]),
                            nbytes=int(entry["nbytes"]),
+                           backend=str(entry.get("backend",
+                                                 "doppelganger")),
                            meta=dict(entry.get("meta", {})))
 
     # -- publishing ----------------------------------------------------------
-    def publish(self, name: str, model, meta: dict | None = None
-                ) -> ModelRecord:
-        """Publish ``model`` (a DoppelGANger or raw archive bytes).
+    def publish(self, name: str, model, meta: dict | None = None,
+                backend: str | None = None) -> ModelRecord:
+        """Publish ``model`` (a fitted model of any registered backend,
+        or raw archive bytes).
 
         Returns the new :class:`ModelRecord` -- or the existing latest
         record when the bytes are identical to it (idempotent
         republish).  ``meta`` is an optional JSON-serializable dict
-        stored alongside the version entry.
+        stored alongside the version entry.  ``backend`` pins the
+        backend tag explicitly; by default it is inferred from the model
+        object (or sniffed from raw bytes, falling back to the default
+        tag for opaque blobs -- undecodable bytes then surface at
+        :meth:`load` time, not here).
         """
+        from repro.backends import (DEFAULT_BACKEND, backend_for_model,
+                                    get_backend, sniff_backend)
+
         if not _NAME_RE.match(name):
             raise RegistryError(
                 f"invalid model name {name!r}: use letters, digits, "
                 f"'.', '_', '-' (must not start with a separator)")
         if isinstance(model, (bytes, bytearray)):
             blob = bytes(model)
+            if backend is None:
+                try:
+                    backend = sniff_backend(blob)
+                except ValueError:
+                    backend = DEFAULT_BACKEND
         else:
-            blob = model.save_bytes()
+            model_backend = (get_backend(backend) if backend is not None
+                             else backend_for_model(model))
+            backend = model_backend.name
+            blob = model_backend.save_bytes(model)
+        backend = get_backend(backend).name  # normalize aliases
         sha256 = hashlib.sha256(blob).hexdigest()
 
         manifest = self._read_manifest(name) or {"name": name,
@@ -163,6 +192,7 @@ class ModelRegistry:
                         else 1),
             "sha256": sha256,
             "nbytes": len(blob),
+            "backend": backend,
             "meta": dict(meta or {}),
         }
         versions.append(entry)
@@ -219,19 +249,35 @@ class ModelRegistry:
         return blob
 
     def load(self, spec: str | ModelRecord):
-        """Load the model behind ``spec`` (hash-verified)."""
-        from repro.core.doppelganger import DoppelGANger
+        """Load the model behind ``spec`` (hash-verified).
+
+        The archive is decoded through the backend named by the
+        record's tag; archives published before backend tags existed
+        decode as DoppelGANger.  An unregistered tag raises
+        :class:`RegistryError` naming it, a tagged blob that fails to
+        decode raises :class:`CorruptModelBlob`.
+        """
+        from repro.backends import UnknownBackend, get_backend
 
         record = spec if isinstance(spec, ModelRecord) \
             else self.resolve(spec)
         blob = self.open_bytes(record)
         try:
-            model = DoppelGANger.load_bytes(blob)
+            backend = get_backend(record.backend)
+        except UnknownBackend as exc:
+            raise RegistryError(
+                f"model {record.spec} is tagged with backend "
+                f"{record.backend!r}, which is not registered in this "
+                f"process ({exc}); install/register that backend or "
+                f"re-publish the model from a supported one") from exc
+        try:
+            model = backend.load_bytes(blob)
         except (ValueError, KeyError) as exc:
             raise CorruptModelBlob(
-                f"blob for {record.spec} passes its hash check but does "
-                f"not decode as a model ({exc}); it was published from a "
-                f"bad archive -- re-publish the model") from exc
+                f"blob for {record.spec} (backend {record.backend!r}) "
+                f"passes its hash check but does not decode as a model "
+                f"({exc}); it was published from a bad archive -- "
+                f"re-publish the model") from exc
         obs_metrics.counter("registry.load").inc()
         return model
 

@@ -1,0 +1,113 @@
+"""Flash-crowd and regime-switching simulators: the properties the
+backend bake-off relies on (burstiness, variable lengths, determinism)."""
+
+import numpy as np
+import pytest
+
+from repro.data.simulators import (FLASHCROWD_CATEGORIES, FLASHCROWD_TIERS,
+                                   REGIME_REGIONS, REGIME_SERVICE_CLASSES,
+                                   generate_flashcrowd, generate_regime,
+                                   make_flashcrowd_schema,
+                                   make_regime_schema)
+
+RNG_SEED = 44
+
+
+class TestFlashcrowdSchema:
+    def test_schema_fields(self):
+        schema = make_flashcrowd_schema(length=56)
+        names = [f.name for f in schema.attributes]
+        assert names == ["content_category", "cdn_tier"]
+        assert schema.attribute("content_category").dimension == len(
+            FLASHCROWD_CATEGORIES)
+        assert schema.attribute("cdn_tier").dimension == len(
+            FLASHCROWD_TIERS)
+        assert len(schema.features) == 1
+        assert not schema.features[0].is_categorical
+        assert schema.max_length == 56
+
+    def test_fixed_length_and_nonnegative(self):
+        ds = generate_flashcrowd(30, np.random.default_rng(RNG_SEED),
+                                 length=24)
+        assert np.all(ds.lengths == 24)
+        assert ds.features.min() >= 0.0
+        assert ds.schema == make_flashcrowd_schema(length=24)
+
+    def test_deterministic_per_seed(self):
+        a = generate_flashcrowd(15, np.random.default_rng(7), length=20)
+        b = generate_flashcrowd(15, np.random.default_rng(7), length=20)
+        assert np.array_equal(a.attributes, b.attributes)
+        assert np.array_equal(a.features, b.features)
+
+    def test_bursty_heavy_tail(self):
+        """Flash crowds: the per-series peak dwarfs the median level."""
+        ds = generate_flashcrowd(300, np.random.default_rng(RNG_SEED),
+                                 length=56)
+        series = ds.feature_column("requests_per_interval")
+        ratio = series.max(axis=1) / (np.median(series, axis=1) + 1e-9)
+        # A majority of series stay calm, but the upper tail spikes by
+        # an order of magnitude -- the episodic-surge signature.
+        assert np.quantile(ratio, 0.9) > 5.0
+        assert ratio.max() > 20.0
+
+    def test_category_shapes_burst_rate(self):
+        """News content flashes far more often than software mirrors."""
+        ds = generate_flashcrowd(2000, np.random.default_rng(RNG_SEED),
+                                 length=40)
+        category = ds.attribute_column("content_category")
+        series = ds.feature_column("requests_per_interval")
+        ratio = series.max(axis=1) / (np.median(series, axis=1) + 1e-9)
+        news = ratio[category == FLASHCROWD_CATEGORIES.index("news")]
+        software = ratio[category
+                         == FLASHCROWD_CATEGORIES.index("software")]
+        assert news.mean() > software.mean()
+
+
+class TestRegimeSchema:
+    def test_schema_fields(self):
+        schema = make_regime_schema(max_length=48)
+        names = [f.name for f in schema.attributes]
+        assert names == ["service_class", "region"]
+        assert schema.attribute("service_class").dimension == len(
+            REGIME_SERVICE_CLASSES)
+        assert schema.attribute("region").dimension == len(REGIME_REGIONS)
+        feature_names = [f.name for f in schema.features]
+        assert feature_names == ["utilization", "queue_depth"]
+        assert schema.max_length == 48
+
+    def test_variable_lengths(self):
+        """Overload kills terminate some series early (the §4.1.1
+        generation-flag stressor)."""
+        ds = generate_regime(300, np.random.default_rng(RNG_SEED),
+                             max_length=48)
+        assert ds.lengths.min() >= 1
+        assert ds.lengths.max() <= 48
+        assert len(np.unique(ds.lengths)) > 3
+        assert (ds.lengths < 48).any() and (ds.lengths == 48).any()
+
+    def test_utilization_bounded(self):
+        ds = generate_regime(100, np.random.default_rng(RNG_SEED),
+                             max_length=24)
+        util = ds.feature_column("utilization")
+        assert util.min() >= 0.0
+        assert util.max() <= 1.0
+        queue = ds.feature_column("queue_depth")
+        assert queue.min() >= 0.0
+
+    def test_deterministic_per_seed(self):
+        a = generate_regime(20, np.random.default_rng(5), max_length=16)
+        b = generate_regime(20, np.random.default_rng(5), max_length=16)
+        assert np.array_equal(a.attributes, b.attributes)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.lengths, b.lengths)
+
+    def test_overload_regime_amplifies_queue(self):
+        """High-utilization steps carry much deeper queues -- the
+        regime structure a generator must capture jointly."""
+        ds = generate_regime(400, np.random.default_rng(RNG_SEED),
+                             max_length=32)
+        util = ds.feature_column("utilization")
+        queue = ds.feature_column("queue_depth")
+        overload = queue[util > 0.7]
+        idle = queue[util < 0.25]
+        assert overload.mean() > 4 * idle.mean()

@@ -1,0 +1,45 @@
+"""Sweeps across the backend axis: worker-invariance on the new
+simulators with the new architecture in the grid (the bake-off the
+GeneratorBackend seam exists for)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import TINY
+from repro.experiments.harness import clear_cache, run_sweep
+from repro.experiments.report import sweep_digest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_harness():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestBackendAxisWorkerInvariance:
+    def test_new_simulators_and_dlgan_serial_equals_parallel(self):
+        """Acceptance criterion: a grid spanning both new simulators and
+        the DLGAN backend digests identically at 1 and 2 workers."""
+        grid = dict(scale=TINY, seeds=[3], verbose=False)
+        serial = run_sweep(["flashcrowd", "regime"], ["dlgan", "hmm"],
+                           **grid)
+        clear_cache()
+        parallel = run_sweep(["flashcrowd", "regime"], ["dlgan", "hmm"],
+                             workers=2, **grid)
+        assert not serial.failures and not parallel.failures
+        assert sweep_digest(serial.models) == sweep_digest(parallel.models)
+
+    def test_alias_and_canonical_name_digest_identically(self):
+        via_alias = run_sweep(["regime"], ["dg"], scale=TINY, seeds=[1],
+                              verbose=False)
+        clear_cache()
+        canonical = run_sweep(["regime"], ["doppelganger"], scale=TINY,
+                              seeds=[1], verbose=False)
+        assert not via_alias.failures and not canonical.failures
+        # Cell labels keep the requested spelling, so compare the model
+        # fingerprints themselves, not the label-keyed dicts.
+        alias_digests = list(sweep_digest(via_alias.models).values())
+        canonical_digests = list(sweep_digest(canonical.models).values())
+        assert alias_digests and alias_digests == canonical_digests
