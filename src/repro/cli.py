@@ -24,6 +24,14 @@ without writing code:
         --name wwt
     python -m repro.cli serve --registry reg/ --port 7777
 
+    # training-as-a-service: submit a job to a server started with
+    # --jobs-dir; the supervisor survives worker crashes (auto-resume
+    # from checkpoint) and auto-publishes the finished model
+    python -m repro.cli serve --registry reg/ --jobs-dir jobs/ --port 7777
+    python -m repro.cli jobs submit --port 7777 --data data.npz \
+        --name wwt --iterations 400 --watch
+    python -m repro.cli jobs status --port 7777 --job-id job-000001
+
 Every command exits 2 with a one-line ``error: ...`` on stderr for
 missing or unreadable inputs; ``--out``-style paths auto-create their
 parent directories.
@@ -232,6 +240,50 @@ def build_parser() -> argparse.ArgumentParser:
                           "(alternative to SIGINT)")
     srv.add_argument("--telemetry", default=None, metavar="DIR",
                      help="collect serving metrics into DIR on exit")
+    srv.add_argument("--jobs-dir", default=None, metavar="DIR",
+                     help="enable training-as-a-service: durable job "
+                          "records live here; finished models are "
+                          "auto-published to --registry and served "
+                          "immediately (docs/serving.md)")
+    srv.add_argument("--train-workers", type=int, default=1,
+                     help="concurrent training worker subprocesses")
+    srv.add_argument("--job-attempts", type=int, default=3,
+                     help="default worker-launch budget per job "
+                          "(crashed workers auto-resume from their "
+                          "latest checkpoint until it is exhausted)")
+
+    jobs = sub.add_parser("jobs", help="manage training jobs on a "
+                                       "running server (serve --jobs-dir)")
+    jobs.add_argument("action", choices=("submit", "status", "cancel",
+                                         "list"))
+    jobs.add_argument("--host", default="127.0.0.1")
+    jobs.add_argument("--port", type=int, required=True)
+    jobs.add_argument("--timeout", type=float, default=60.0,
+                      help="connect/read timeout in seconds")
+    jobs.add_argument("--job-id", default=None,
+                      help="job to inspect or cancel")
+    jobs.add_argument("--data", default=None,
+                      help="training dataset file (submit)")
+    jobs.add_argument("--name", default=None,
+                      help="registry name the finished model publishes "
+                           "under (submit)")
+    jobs.add_argument("--backend", choices=_BACKEND_CHOICES,
+                      default="doppelganger")
+    jobs.add_argument("--iterations", type=int, default=None)
+    jobs.add_argument("--batch-size", type=int, default=None)
+    jobs.add_argument("--hidden", type=int, default=None)
+    jobs.add_argument("--sample-len", type=int, default=None)
+    jobs.add_argument("--seed", type=int, default=None)
+    jobs.add_argument("--checkpoint-every", type=int, default=None,
+                      help="iterations between resumable checkpoint "
+                           "writes (doppelganger jobs)")
+    jobs.add_argument("--sentinel", action="store_true",
+                      help="enable the divergence sentinel for the job")
+    jobs.add_argument("--max-attempts", type=int, default=None,
+                      help="worker-launch budget for this job")
+    jobs.add_argument("--watch", action="store_true",
+                      help="poll status until the job reaches a "
+                           "terminal state (submit/status)")
 
     bsrv = sub.add_parser("bench-serve",
                           help="benchmark micro-batched vs batch-size-1 "
@@ -464,6 +516,87 @@ def _cmd_publish(args) -> int:
     return 0
 
 
+def _print_job(job: dict) -> None:
+    line = (f"{job['job_id']}  {job['state']:<10}  name={job['name']}  "
+            f"backend={job['backend']}  attempts={job['attempts']}"
+            f"/{job['max_attempts']}")
+    progress = job.get("progress") or {}
+    if progress.get("iteration") is not None:
+        line += (f"  iter={progress['iteration']}"
+                 f"/{progress.get('iterations')}"
+                 f"  d_loss={progress['d_loss']:.3f}"
+                 f"  g_loss={progress['g_loss']:.3f}")
+        if progress.get("rollbacks"):
+            line += f"  rollbacks={progress['rollbacks']}"
+    if job.get("result"):
+        line += (f"  published={job['result']['spec']} "
+                 f"(sha256 {job['result']['sha256'][:12]}...)")
+    if job.get("error"):
+        line += f"  error: {job['error']}"
+    print(line)
+
+
+def _cmd_jobs(args) -> int:
+    import time
+
+    from repro.serve import ServeClient, ServeError
+
+    try:
+        client = ServeClient(args.host, args.port, timeout=args.timeout,
+                             connect_retries=2)
+    except ServeError as exc:
+        raise _CliError(str(exc)) from None
+
+    def watch(job_id: str) -> int:
+        while True:
+            job = client.job_status(job_id)
+            _print_job(job)
+            if job["state"] in ("completed", "failed", "cancelled"):
+                return 0 if job["state"] == "completed" else 1
+            time.sleep(0.2)
+
+    try:
+        if args.action == "list":
+            rows = client.jobs()
+            if not rows:
+                print("no jobs")
+            for job in rows:
+                _print_job(job)
+            return 0
+        if args.action == "submit":
+            if not args.data or not args.name:
+                raise _CliError("jobs submit needs --data and --name")
+            _load_dataset(args.data)  # fail fast on unreadable input
+            train = {key: value for key, value in [
+                ("iterations", args.iterations),
+                ("batch_size", args.batch_size),
+                ("hidden", args.hidden),
+                ("sample_len", args.sample_len),
+                ("seed", args.seed),
+                ("checkpoint_every", args.checkpoint_every),
+            ] if value is not None}
+            if args.sentinel:
+                train["sentinel"] = True
+            job = client.submit_job(args.name, args.data,
+                                    backend=args.backend, train=train,
+                                    max_attempts=args.max_attempts)
+            _print_job(job)
+            return watch(job["job_id"]) if args.watch else 0
+        if not args.job_id:
+            raise _CliError(f"jobs {args.action} needs --job-id")
+        if args.action == "cancel":
+            _print_job(client.cancel_job(args.job_id))
+            return 0
+        if args.watch:
+            return watch(args.job_id)
+        _print_job(client.job_status(args.job_id))
+        return 0
+    except ServeError as exc:
+        raise _CliError(str(exc)) from None
+    finally:
+        client.close()
+
+
 def _cmd_serve(args) -> int:
     import time
 
@@ -474,11 +607,32 @@ def _cmd_serve(args) -> int:
         registry = ModelRegistry(args.registry)
         service = GenerationService.from_registry(
             registry, specs=args.models or None,
+            allow_empty=bool(args.jobs_dir),
             max_batch_rows=args.batch_rows,
             max_wait_ms=args.batch_wait_ms,
             max_queue_rows=args.queue_rows)
     except RegistryError as exc:
         raise _CliError(str(exc)) from None
+
+    supervisor = None
+    if args.jobs_dir:
+        from repro.resilience import RetryPolicy
+        from repro.serve import JobStore, JobSupervisor
+
+        supervisor = JobSupervisor(
+            JobStore(args.jobs_dir), args.registry,
+            max_workers=args.train_workers,
+            retry=RetryPolicy(max_attempts=max(args.job_attempts, 1),
+                              base_delay=0.1, multiplier=2.0,
+                              max_delay=5.0))
+        service.attach_jobs(supervisor)
+        requeued = supervisor.recover()
+        for job_id in requeued:
+            print(f"requeued interrupted job {job_id} (will resume "
+                  f"from its latest checkpoint)")
+        supervisor.start()
+        print(f"training jobs enabled (store: {args.jobs_dir}, "
+              f"workers: {args.train_workers})")
 
     telemetry = None
     if args.telemetry:
@@ -507,6 +661,10 @@ def _cmd_serve(args) -> int:
             time.sleep(0.1)
     except KeyboardInterrupt:
         print("interrupt received")
+    if supervisor is not None:
+        print("stopping job supervisor (running jobs resume on the "
+              "next start)...")
+        supervisor.stop()
     print("draining in-flight requests...")
     server.shutdown(drain=True)
     if telemetry is not None:
@@ -564,7 +722,7 @@ def main(argv=None) -> int:
                 "generate": _cmd_generate, "inspect": _cmd_inspect,
                 "sweep": _cmd_sweep, "metrics": _cmd_metrics,
                 "publish": _cmd_publish, "serve": _cmd_serve,
-                "bench-serve": _cmd_bench_serve}
+                "jobs": _cmd_jobs, "bench-serve": _cmd_bench_serve}
     try:
         return handlers[args.command](args)
     except _CliError as exc:

@@ -14,6 +14,9 @@ This package makes the training loop survive all of it:
   tests to prove every recovery path.
 - :mod:`repro.resilience.failures` -- :class:`FailureRecord` used by the
   experiment harness to isolate per-model failures in a sweep.
+- :mod:`repro.resilience.retry` -- bounded, deterministic
+  retry-with-backoff used by the serve client, registry reads, and the
+  job supervisor.
 """
 
 from repro.resilience import faults
@@ -22,6 +25,7 @@ from repro.resilience.checkpoint import (load_checkpoint, restore_trainer,
                                          trainer_params_finite)
 from repro.resilience.failures import FailureRecord
 from repro.resilience.faults import FaultInjected, SimulatedKill
+from repro.resilience.retry import RetryPolicy, retry_call
 from repro.resilience.sentinel import (DivergenceDetected,
                                        DivergenceSentinel, SentinelPolicy,
                                        TrainingDiverged)
@@ -31,6 +35,7 @@ __all__ = [
     "SentinelPolicy", "DivergenceSentinel", "DivergenceDetected",
     "TrainingDiverged",
     "FailureRecord",
+    "RetryPolicy", "retry_call",
     "save_checkpoint", "load_checkpoint", "snapshot_trainer",
     "restore_trainer", "trainer_params_finite",
 ]

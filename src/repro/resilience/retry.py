@@ -1,0 +1,99 @@
+"""Bounded retry with deterministic exponential backoff.
+
+Transient failures -- a serve client connecting before the server has
+bound its port, a registry manifest read racing a (non-atomic) writer, a
+supervised training worker that was SIGKILLed -- all want the same tiny
+policy: try again a bounded number of times, waiting a little longer each
+time.  Scattering ad-hoc ``for attempt in range(3)`` loops around the
+codebase breeds subtle divergence (different caps, accidental wall-clock
+jitter, swallowed exceptions), so this module centralises it.
+
+Design constraints, matching the rest of :mod:`repro.resilience`:
+
+- **Deterministic**: the backoff schedule is a pure function of the
+  policy -- ``base_delay * multiplier**k`` capped at ``max_delay`` -- with
+  no randomised jitter.  Two runs of the same failing call sleep the
+  same amounts, so retry behaviour is reproducible in tests and the
+  schedule can be asserted exactly.
+- **Injectable clock**: callers (and tests) pass their own ``sleep``;
+  nothing here reads the wall clock.
+- **Bounded**: ``max_attempts`` is a hard cap.  When the budget is
+  exhausted the *last* exception propagates unchanged, so callers keep
+  their existing error semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded, deterministic exponential-backoff schedule.
+
+    Args:
+        max_attempts: Total tries, including the first (must be >= 1).
+        base_delay: Seconds slept after the first failure.
+        multiplier: Growth factor between consecutive delays.
+        max_delay: Upper bound on any single delay.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.base_delay * self.multiplier ** (attempt - 1),
+                   self.max_delay)
+
+    def delays(self) -> tuple[float, ...]:
+        """The full backoff schedule (``max_attempts - 1`` entries)."""
+        return tuple(self.delay(a) for a in
+                     range(1, self.max_attempts))
+
+
+def retry_call(fn, *, retry_on: tuple[type[BaseException], ...],
+               policy: RetryPolicy | None = None, sleep=time.sleep,
+               on_retry=None):
+    """Call ``fn()`` under ``policy``, retrying on ``retry_on``.
+
+    Args:
+        fn: Zero-argument callable; its return value is passed through.
+        retry_on: Exception types that trigger a retry.  Anything else
+            propagates immediately (a corrupt input should not be
+            retried into a timeout).
+        policy: Backoff schedule (default :class:`RetryPolicy()`).
+        sleep: Injectable delay function (tests pass a recorder).
+        on_retry: Optional ``on_retry(attempt, exc, delay)`` observer
+            called before each sleep.
+
+    Raises the final exception unchanged once ``max_attempts`` is
+    exhausted.
+    """
+    policy = policy or RetryPolicy()
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            delay = policy.delay(attempt)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0:
+                sleep(delay)

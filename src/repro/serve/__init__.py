@@ -12,12 +12,18 @@ consumers (docs/serving.md):
 - :mod:`repro.serve.server` / :mod:`repro.serve.client` -- threaded
   loopback-socket server with bounded admission and graceful drain, plus
   socket / in-process clients and a load generator.
+- :mod:`repro.serve.jobs` / :mod:`repro.serve.worker` -- crash-
+  recoverable training-as-a-service: durable job records, a supervisor
+  that auto-resumes killed workers from their latest checkpoint, and
+  auto-publish of finished models back into the registry.
 - :mod:`repro.serve.bench` -- the BENCH_serving.json benchmark.
 """
 
 from repro.serve.batcher import BatcherClosed, MicroBatcher, QueueFull
 from repro.serve.client import (InProcessClient, LoadReport, ServeClient,
                                 ServeError, ServerBusy, run_load)
+from repro.serve.jobs import (JobError, JobRecord, JobStore,
+                              JobSupervisor, UnknownJob, job_progress)
 from repro.serve.registry import (CorruptModelBlob, ModelNotFound,
                                   ModelRecord, ModelRegistry,
                                   RegistryError)
@@ -29,5 +35,7 @@ __all__ = [
     "MicroBatcher", "QueueFull", "BatcherClosed",
     "GenerationService", "Server",
     "ServeClient", "InProcessClient", "ServeError", "ServerBusy",
+    "JobStore", "JobRecord", "JobSupervisor", "JobError", "UnknownJob",
+    "job_progress",
     "LoadReport", "run_load",
 ]

@@ -8,6 +8,14 @@ effects from socket effects).  Both raise :class:`ServerBusy` when the
 server sheds a request (backpressure is an *expected* outcome a caller
 must handle, not an exotic failure).
 
+Transport failures never leak raw socket exceptions: the client's
+``timeout`` bounds the TCP *connect* as well as every read, and a server
+that dies mid-request surfaces as a :class:`ServeError` with a
+machine-readable ``timeout`` or ``connection`` code.  Connects may also
+retry briefly (``connect_retries``) on a deterministic backoff
+(:mod:`repro.resilience.retry`) to ride out a server that is still
+binding its port.
+
 :func:`run_load` is the load generator behind
 ``benchmarks/bench_serving.py`` and ``repro.cli bench-serve``: N client
 threads issue M requests each and every per-request latency is recorded,
@@ -16,6 +24,7 @@ so throughput and tail latency come from the same run.
 
 from __future__ import annotations
 
+import io
 import socket
 import threading
 import time
@@ -24,6 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.dataset import TimeSeriesDataset
+from repro.resilience.retry import RetryPolicy, retry_call
 from repro.serve import protocol
 
 __all__ = ["ServeError", "ServerBusy", "ServeClient", "InProcessClient",
@@ -46,6 +56,10 @@ def _result_dataset(header: dict, payload: bytes) -> TimeSeriesDataset:
     status = header.get("status")
     if status == "ok":
         return protocol.dataset_from_bytes(payload)
+    _raise_error(header)
+
+
+def _raise_error(header: dict):
     code = header.get("code", protocol.ERR_INTERNAL)
     message = header.get("error", "unknown server error")
     if code == protocol.ERR_BUSY:
@@ -53,34 +67,39 @@ def _result_dataset(header: dict, payload: bytes) -> TimeSeriesDataset:
     raise ServeError(code, message)
 
 
-class ServeClient:
-    """A blocking client over one TCP connection (reusable, sequential)."""
+def _dataset_bytes(dataset) -> bytes:
+    """Accept a TimeSeriesDataset, raw npz bytes, or a file path."""
+    if isinstance(dataset, (bytes, bytearray)):
+        return bytes(dataset)
+    if isinstance(dataset, str):
+        with open(dataset, "rb") as handle:
+            return handle.read()
+    buffer = io.BytesIO()
+    dataset.save(buffer)
+    return buffer.getvalue()
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
-        self._rfile = self._sock.makefile("rb")
-        self._wfile = self._sock.makefile("wb")
 
-    def _call(self, header: dict) -> tuple[dict, bytes]:
-        protocol.write_message(self._wfile, header)
-        try:
-            return protocol.read_message(self._rfile)
-        except EOFError:
-            raise ServeError(
-                protocol.ERR_INTERNAL,
-                "server closed the connection without a response") \
-                from None
+class _ClientOps:
+    """The request API shared by every transport.
+
+    Subclasses provide ``_call(header, payload) -> (header, payload)``.
+    """
+
+    def _call(self, header: dict, payload: bytes = b""
+              ) -> tuple[dict, bytes]:
+        raise NotImplementedError
+
+    def _ok(self, header: dict) -> dict:
+        if header.get("status") != "ok":
+            _raise_error(header)
+        return header
 
     def ping(self) -> bool:
         header, _ = self._call({"op": "ping"})
         return header.get("status") == "ok"
 
     def models(self) -> list[dict]:
-        header, _ = self._call({"op": "models"})
-        if header.get("status") != "ok":
-            _result_dataset(header, b"")  # raises the mapped error
-        return header["models"]
+        return self._ok(self._call({"op": "models"})[0])["models"]
 
     def generate(self, model: str, n: int, seed: int = 0
                  ) -> TimeSeriesDataset:
@@ -88,6 +107,107 @@ class ServeClient:
         header, payload = self._call({"op": "generate", "model": model,
                                       "n": int(n), "seed": int(seed)})
         return _result_dataset(header, payload)
+
+    # -- training jobs -------------------------------------------------------
+    def submit_job(self, name: str, dataset, *,
+                   backend: str = "doppelganger",
+                   train: dict | None = None,
+                   max_attempts: int | None = None,
+                   faults: list | None = None) -> dict:
+        """Submit a training job; returns the queued job's record.
+
+        ``dataset`` may be a :class:`TimeSeriesDataset`, npz bytes, or a
+        dataset file path.  ``train`` carries the overrides listed in
+        :data:`repro.serve.jobs.TRAIN_KEYS`; ``faults`` is the test-only
+        fault-injection channel.
+        """
+        header = {"op": "submit", "name": str(name),
+                  "backend": str(backend), "train": dict(train or {})}
+        if max_attempts is not None:
+            header["max_attempts"] = int(max_attempts)
+        if faults:
+            header["faults"] = list(faults)
+        response, _ = self._call(header, _dataset_bytes(dataset))
+        return self._ok(response)["job"]
+
+    def job_status(self, job_id: str) -> dict:
+        """Durable record + live telemetry progress of one job."""
+        response, _ = self._call({"op": "status",
+                                  "job_id": str(job_id)})
+        return self._ok(response)["job"]
+
+    def cancel_job(self, job_id: str) -> dict:
+        """Cancel a queued or running job (terminal jobs: no-op)."""
+        response, _ = self._call({"op": "cancel",
+                                  "job_id": str(job_id)})
+        return self._ok(response)["job"]
+
+    def jobs(self) -> list[dict]:
+        """All job records on the server, in submission order."""
+        return self._ok(self._call({"op": "jobs"})[0])["jobs"]
+
+
+class ServeClient(_ClientOps):
+    """A blocking client over one TCP connection (reusable, sequential).
+
+    ``timeout`` bounds the connect *and* every subsequent read;
+    ``connect_retries`` extra connection attempts ride out a server
+    still binding its port (deterministic backoff, no wall-clock
+    randomness).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0,
+                 connect_retries: int = 0):
+        self._address = f"{host}:{port}"
+        self._timeout = float(timeout)
+        policy = RetryPolicy(max_attempts=max(int(connect_retries), 0) + 1,
+                             base_delay=0.05, multiplier=2.0,
+                             max_delay=1.0)
+        try:
+            self._sock = retry_call(
+                lambda: socket.create_connection((host, port),
+                                                 timeout=self._timeout),
+                retry_on=(ConnectionRefusedError,), policy=policy)
+        except TimeoutError:
+            raise ServeError(
+                protocol.ERR_TIMEOUT,
+                f"connecting to {self._address} timed out after "
+                f"{self._timeout}s") from None
+        except OSError as exc:
+            raise ServeError(
+                protocol.ERR_CONNECTION,
+                f"cannot connect to {self._address}: {exc}") from None
+        # create_connection leaves the timeout on the socket, so reads
+        # (and writes) inherit the same bound as the connect.
+        self._sock.settimeout(self._timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+
+    def _call(self, header: dict, payload: bytes = b""
+              ) -> tuple[dict, bytes]:
+        try:
+            protocol.write_message(self._wfile, header, payload)
+            return protocol.read_message(self._rfile)
+        except EOFError:
+            raise ServeError(
+                protocol.ERR_CONNECTION,
+                f"server {self._address} closed the connection without "
+                f"a response") from None
+        except TimeoutError:
+            raise ServeError(
+                protocol.ERR_TIMEOUT,
+                f"no response from {self._address} within "
+                f"{self._timeout}s") from None
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise ServeError(
+                protocol.ERR_CONNECTION,
+                f"connection to {self._address} was lost mid-request "
+                f"({exc}); the server likely died") from None
+        except OSError as exc:
+            raise ServeError(
+                protocol.ERR_CONNECTION,
+                f"transport failure talking to {self._address}: "
+                f"{exc}") from None
 
     def close(self) -> None:
         for handle in (self._rfile, self._wfile, self._sock):
@@ -103,26 +223,15 @@ class ServeClient:
         self.close()
 
 
-class InProcessClient:
+class InProcessClient(_ClientOps):
     """The client API bound directly to a service (no sockets)."""
 
     def __init__(self, service):
         self.service = service
 
-    def ping(self) -> bool:
-        header, _ = self.service.handle({"op": "ping"})
-        return header.get("status") == "ok"
-
-    def models(self) -> list[dict]:
-        header, _ = self.service.handle({"op": "models"})
-        return header["models"]
-
-    def generate(self, model: str, n: int, seed: int = 0
-                 ) -> TimeSeriesDataset:
-        header, payload = self.service.handle(
-            {"op": "generate", "model": model, "n": int(n),
-             "seed": int(seed)})
-        return _result_dataset(header, payload)
+    def _call(self, header: dict, payload: bytes = b""
+              ) -> tuple[dict, bytes]:
+        return self.service.handle(header, payload)
 
     def close(self) -> None:
         pass

@@ -21,8 +21,18 @@ clients surface the error.  Error *responses* are well-formed frames with
 - ``busy`` -- admission queue full; the request was shed (backpressure).
 - ``shutting_down`` -- server is draining; retry against a new server.
 - ``model_not_found`` -- unknown model spec.
+- ``job_not_found`` -- unknown job id (``status``/``cancel``).
+- ``jobs_disabled`` -- the server was started without a job store.
 - ``bad_request`` -- malformed op/arguments.
 - ``internal`` -- unexpected server-side failure.
+
+Two additional codes never cross the wire; clients synthesize them when
+the *transport* fails so callers always see a :class:`ServeError` with a
+machine-readable code instead of a raw socket exception:
+
+- ``timeout`` -- connect or read exceeded the client's timeout.
+- ``connection`` -- the connection was refused, reset, or closed
+  mid-request.
 """
 
 from __future__ import annotations
@@ -37,7 +47,8 @@ __all__ = ["MAGIC", "VERSION", "MAX_HEADER_BYTES", "MAX_PAYLOAD_BYTES",
            "ProtocolError", "write_message", "read_message",
            "dataset_to_bytes", "dataset_from_bytes",
            "ERR_BUSY", "ERR_SHUTTING_DOWN", "ERR_MODEL_NOT_FOUND",
-           "ERR_BAD_REQUEST", "ERR_INTERNAL"]
+           "ERR_BAD_REQUEST", "ERR_INTERNAL", "ERR_JOB_NOT_FOUND",
+           "ERR_JOBS_DISABLED", "ERR_TIMEOUT", "ERR_CONNECTION"]
 
 MAGIC = b"RSRV"
 VERSION = 1
@@ -49,8 +60,14 @@ MAX_PAYLOAD_BYTES = 1 << 33  # 8 GiB hard cap per frame
 ERR_BUSY = "busy"
 ERR_SHUTTING_DOWN = "shutting_down"
 ERR_MODEL_NOT_FOUND = "model_not_found"
+ERR_JOB_NOT_FOUND = "job_not_found"
+ERR_JOBS_DISABLED = "jobs_disabled"
 ERR_BAD_REQUEST = "bad_request"
 ERR_INTERNAL = "internal"
+
+# Client-side transport codes (never sent by a server).
+ERR_TIMEOUT = "timeout"
+ERR_CONNECTION = "connection"
 
 
 class ProtocolError(ValueError):

@@ -43,6 +43,7 @@ import re
 from dataclasses import dataclass, field
 
 from repro.observability import metrics as obs_metrics
+from repro.resilience.retry import RetryPolicy, retry_call
 
 __all__ = ["ModelRegistry", "ModelRecord", "RegistryError",
            "ModelNotFound", "CorruptModelBlob"]
@@ -116,17 +117,33 @@ class ModelRegistry:
         return os.path.join(self.root, "models", f"{name}.json")
 
     # -- manifests -----------------------------------------------------------
+
+    #: Manifest reads ride out a concurrent writer on filesystems where
+    #: ``os.replace`` is not atomic (network mounts) with a short,
+    #: deterministic retry; a genuinely corrupt manifest still fails in
+    #: well under a tenth of a second.
+    _MANIFEST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01,
+                                  multiplier=2.0, max_delay=0.05)
+
     def _read_manifest(self, name: str) -> dict | None:
+        def read() -> dict | None:
+            try:
+                with open(self._manifest_path(name),
+                          encoding="utf-8") as fh:
+                    return json.load(fh)
+            except FileNotFoundError:
+                return None  # unpublished name: not retryable
+
         try:
-            with open(self._manifest_path(name), encoding="utf-8") as fh:
-                manifest = json.load(fh)
-        except FileNotFoundError:
-            return None
+            manifest = retry_call(read, retry_on=(OSError, ValueError),
+                                  policy=self._MANIFEST_RETRY)
         except (OSError, ValueError) as exc:
             raise RegistryError(
                 f"manifest for model {name!r} in registry {self.root!r} is "
                 f"unreadable or corrupt ({exc}); restore it or re-publish "
                 f"the model under a new name") from exc
+        if manifest is None:
+            return None
         if not isinstance(manifest.get("versions"), list):
             raise RegistryError(
                 f"manifest for model {name!r} in registry {self.root!r} "

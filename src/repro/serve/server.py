@@ -4,9 +4,14 @@ Two layers, deliberately separable:
 
 - :class:`GenerationService` is transport-independent: a mapping of model
   specs to :class:`~repro.serve.batcher.MicroBatcher` instances plus a
-  ``handle(header) -> (header, payload)`` request dispatcher.  Tests and
-  the in-process client (:class:`repro.serve.client.InProcessClient`)
-  call it directly; the socket server is a thin framing shim over it.
+  ``handle(header, payload) -> (header, payload)`` request dispatcher.
+  Tests and the in-process client
+  (:class:`repro.serve.client.InProcessClient`) call it directly; the
+  socket server is a thin framing shim over it.  With a
+  :class:`~repro.serve.jobs.JobSupervisor` attached the service also
+  speaks the training-job verbs (``submit`` / ``status`` / ``cancel`` /
+  ``jobs``) and hot-loads each auto-published model the moment its job
+  completes, so ``generate`` picks it up without a restart.
 - :class:`Server` owns a listening socket, an accept thread, and one
   handler thread per connection.  Handler threads block on their
   request's Future while the batcher worker executes -- concurrency is
@@ -53,30 +58,44 @@ class GenerationService:
     def __init__(self, models: dict, aliases: dict | None = None, *,
                  max_batch_rows: int | None = None,
                  max_wait_ms: float = 2.0, max_queue_rows: int = 4096,
-                 max_request_n: int = DEFAULT_MAX_REQUEST_N):
+                 max_request_n: int = DEFAULT_MAX_REQUEST_N,
+                 registry: ModelRegistry | None = None):
+        self._batcher_kwargs = dict(max_batch_rows=max_batch_rows,
+                                    max_wait_ms=max_wait_ms,
+                                    max_queue_rows=max_queue_rows)
         self.batchers: dict[str, MicroBatcher] = {
-            spec: MicroBatcher(model, max_batch_rows=max_batch_rows,
-                               max_wait_ms=max_wait_ms,
-                               max_queue_rows=max_queue_rows, name=spec)
+            spec: MicroBatcher(model, name=spec, **self._batcher_kwargs)
             for spec, model in models.items()
         }
         self.aliases = dict(aliases or {})
         self.max_request_n = int(max_request_n)
+        self.registry = registry
+        self.jobs = None  # a JobSupervisor, via attach_jobs()
+        self._newest: dict[str, int] = {}
+        for spec in self.batchers:
+            name, _, version = spec.partition("@")
+            if version.isdigit():
+                self._newest[name] = max(self._newest.get(name, 0),
+                                         int(version))
+        self._models_lock = threading.Lock()
         self._closed = False
 
     @classmethod
     def from_registry(cls, registry: ModelRegistry,
                       specs: list[str] | None = None,
+                      allow_empty: bool = False,
                       **kwargs) -> "GenerationService":
         """Load models out of a registry and alias bare/latest specs.
 
         ``specs=None`` serves the latest version of every published
         model.  Each resolved model is served under its canonical
         ``name@version`` spec; ``name`` and ``name@latest`` alias to the
-        newest resolved version of that name.
+        newest resolved version of that name.  ``allow_empty`` permits
+        starting with no published models (a jobs-only server whose
+        first models arrive by training).
         """
         specs = list(specs) if specs else registry.models()
-        if not specs:
+        if not specs and not allow_empty:
             raise ModelNotFound(
                 f"registry {registry.root!r} has no published models")
         records = [registry.resolve(spec) for spec in specs]
@@ -91,7 +110,44 @@ class GenerationService:
         for name, version in newest.items():
             aliases[name] = f"{name}@{version}"
             aliases[f"{name}@latest"] = f"{name}@{version}"
-        return cls(models, aliases, **kwargs)
+        return cls(models, aliases, registry=registry, **kwargs)
+
+    # -- dynamic model management -------------------------------------------
+    def add_model(self, spec: str, model) -> None:
+        """Start serving ``model`` under canonical ``name@version``.
+
+        Newer versions steal the bare-``name`` and ``name@latest``
+        aliases; older ones are served under their pinned spec only.
+        Adding an already-served spec is a no-op (content addressing
+        means the model bytes are the same).
+        """
+        name, _, version = str(spec).partition("@")
+        if not version.isdigit():
+            raise ValueError(f"add_model needs a canonical name@version "
+                             f"spec, got {spec!r}")
+        with self._models_lock:
+            if self._closed or spec in self.batchers:
+                return
+            self.batchers[spec] = MicroBatcher(model, name=spec,
+                                               **self._batcher_kwargs)
+            if int(version) >= self._newest.get(name, 0):
+                self._newest[name] = int(version)
+                self.aliases[name] = spec
+                self.aliases[f"{name}@latest"] = spec
+        obs_metrics.counter("serve.models_loaded").inc()
+
+    def attach_jobs(self, supervisor) -> None:
+        """Enable the job verbs and hot-load models the jobs publish."""
+        self.jobs = supervisor
+        supervisor.on_publish = self._on_job_publish
+
+    def _on_job_publish(self, record) -> None:
+        """Supervisor hook: load the freshly published model and serve
+        it immediately (``record.result`` is the publish receipt)."""
+        if self.registry is None or not record.result:
+            return
+        spec = record.result["spec"]
+        self.add_model(spec, self.registry.load(spec))
 
     # -- dispatch ------------------------------------------------------------
     def _error(self, code: str, message: str) -> tuple[dict, bytes]:
@@ -121,22 +177,27 @@ class GenerationService:
                                            if c == spec)})
         return rows
 
-    def handle(self, header: dict) -> tuple[dict, bytes]:
-        """Serve one request header; returns ``(header, payload)``.
+    def handle(self, header: dict, payload: bytes = b""
+               ) -> tuple[dict, bytes]:
+        """Serve one request; returns ``(header, payload)``.
 
         Never raises for request-level problems -- they become
         well-formed error responses.  This is the single entry point for
-        every transport (sockets, in-process).
+        every transport (sockets, in-process).  ``payload`` carries the
+        training dataset of a ``submit``; every other op ignores it.
         """
         op = header.get("op")
         if op == "ping":
             return {"status": "ok"}, b""
         if op == "models":
             return {"status": "ok", "models": self.describe()}, b""
+        if op in ("submit", "status", "cancel", "jobs"):
+            return self._handle_job_op(op, header, payload)
         if op != "generate":
             return self._error(protocol.ERR_BAD_REQUEST,
                                f"unknown op {op!r} (expected ping, "
-                               f"models, or generate)")
+                               f"models, generate, submit, status, "
+                               f"cancel, or jobs)")
 
         spec = header.get("model")
         n, seed = header.get("n"), header.get("seed", 0)
@@ -173,13 +234,99 @@ class GenerationService:
                 "model": self.aliases.get(str(spec), str(spec)),
                 "payload_bytes": len(payload)}, payload
 
+    # -- job verbs -----------------------------------------------------------
+    def _handle_job_op(self, op: str, header: dict, payload: bytes
+                       ) -> tuple[dict, bytes]:
+        from repro.serve.jobs import (JobError, UnknownJob,
+                                      validate_train_overrides)
+
+        if self.jobs is None:
+            return self._error(
+                protocol.ERR_JOBS_DISABLED,
+                f"this server has no job orchestration (op {op!r}); "
+                f"start it with a job store (--jobs-dir)")
+        if op == "jobs":
+            return {"status": "ok", "jobs": self.jobs.jobs()}, b""
+        if op == "submit":
+            return self._handle_submit(header, payload,
+                                       validate_train_overrides,
+                                       JobError)
+        job_id = header.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               f"op {op!r} needs a job_id string, "
+                               f"got {job_id!r}")
+        try:
+            if op == "status":
+                return {"status": "ok",
+                        "job": self.jobs.status(job_id)}, b""
+            return {"status": "ok", "job": self.jobs.cancel(job_id)}, b""
+        except UnknownJob as exc:
+            return self._error(protocol.ERR_JOB_NOT_FOUND, str(exc))
+        except JobError as exc:
+            return self._error(protocol.ERR_INTERNAL, str(exc))
+
+    def _handle_submit(self, header: dict, payload: bytes,
+                       validate_train_overrides, job_error
+                       ) -> tuple[dict, bytes]:
+        from repro.backends import UnknownBackend, get_backend
+        from repro.serve.registry import _NAME_RE
+
+        name = header.get("name")
+        if not isinstance(name, str) or not _NAME_RE.match(name or ""):
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               f"submit needs a valid model name "
+                               f"(letters, digits, '.', '_', '-'), "
+                               f"got {name!r}")
+        backend_name = header.get("backend", "doppelganger")
+        try:
+            backend = get_backend(backend_name)
+        except UnknownBackend as exc:
+            return self._error(protocol.ERR_BAD_REQUEST, str(exc))
+        train = header.get("train") or {}
+        if not isinstance(train, dict):
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               f"train must be a JSON object, "
+                               f"got {train!r}")
+        try:
+            train = validate_train_overrides(train)
+        except job_error as exc:
+            return self._error(protocol.ERR_BAD_REQUEST, str(exc))
+        if not payload:
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               "submit needs the training dataset as "
+                               "the request payload (npz bytes)")
+        try:
+            protocol.dataset_from_bytes(payload)
+        except protocol.ProtocolError as exc:
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               f"submit payload is not a dataset "
+                               f"archive: {exc}")
+        faults_spec = header.get("faults") or []
+        if not isinstance(faults_spec, list):
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               "faults must be a list of fault specs")
+        max_attempts = header.get("max_attempts")
+        if max_attempts is not None and (
+                not isinstance(max_attempts, int)
+                or isinstance(max_attempts, bool) or max_attempts < 1):
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               f"max_attempts must be a positive "
+                               f"integer, got {max_attempts!r}")
+        record = self.jobs.submit(name, backend.name, payload,
+                                  train=train, max_attempts=max_attempts,
+                                  faults=faults_spec)
+        return {"status": "ok", "job": record.public()}, b""
+
     # -- lifecycle -----------------------------------------------------------
     def close(self, drain: bool = True) -> None:
         """Stop admission on every batcher; with ``drain``, finish all."""
-        if self._closed:
-            return
-        self._closed = True
-        for batcher in self.batchers.values():
+        with self._models_lock:
+            if self._closed:
+                return
+            self._closed = True  # also blocks late add_model calls
+            batchers = list(self.batchers.values())
+        for batcher in batchers:
             batcher.close(drain=drain)
 
 
@@ -234,7 +381,7 @@ class Server:
         try:
             while True:
                 try:
-                    header, _ = protocol.read_message(rfile)
+                    header, request_payload = protocol.read_message(rfile)
                 except EOFError:
                     return
                 except (protocol.ProtocolError, OSError):
@@ -245,7 +392,8 @@ class Server:
                          "code": protocol.ERR_SHUTTING_DOWN,
                          "error": "server is draining"}, b"")
                 else:
-                    response, payload = self.service.handle(header)
+                    response, payload = self.service.handle(
+                        header, request_payload)
                 try:
                     protocol.write_message(wfile, response, payload)
                 except (OSError, ValueError):

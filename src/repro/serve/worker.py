@@ -1,0 +1,180 @@
+"""The supervised training worker (``python -m repro.serve.worker``).
+
+One invocation executes one *attempt* of a job directory written by
+:class:`repro.serve.jobs.JobStore`: train (resuming from the latest
+checkpoint when one exists), write the model archive atomically, publish
+it into the content-addressed registry with the correct backend tag, and
+drop an atomic ``result.json`` receipt that the supervisor treats as the
+completion marker.
+
+Every step is idempotent, so the worker can die *anywhere* and a relaunch
+converges on the same bytes:
+
+- killed mid-training -> the next attempt resumes from ``checkpoint.npz``
+  (bit-identical continuation, PR 2's guarantee);
+- killed between the model write and the publish -> the next attempt
+  skips training and just publishes (content addressing makes a double
+  publish of identical bytes a no-op);
+- killed between the publish and the receipt -> the next attempt
+  republishes (no-op) and rewrites the receipt.
+
+Backends without resumable checkpoints (everything except DoppelGANger)
+retrain from scratch on each attempt; their training is a pure function
+of (config, seed, data), so the final bytes are identical anyway.
+
+Fault injection: a job record may carry test-only fault specs
+(:mod:`repro.resilience.faults`) scoped to an attempt number; a ``kill``
+action exits the process via ``os._exit`` -- no cleanup, no buffered
+flushes -- the closest in-process stand-in for SIGKILL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.backends import get_backend
+from repro.data.dataset import TimeSeriesDataset
+from repro.observability import events as obs_events
+from repro.resilience import faults
+from repro.serve.jobs import JobRecord, JobStore
+from repro.serve.registry import ModelRegistry, _write_atomic
+
+__all__ = ["run_job", "main"]
+
+#: Exit code of a simulated kill (mirrors 128 + SIGKILL).
+KILL_EXIT_CODE = 137
+
+
+def _arm_faults(record: JobRecord) -> None:
+    """Install the record's fault specs that target this attempt."""
+    armed = []
+    for spec in record.faults:
+        if int(spec.get("attempt", 1)) != record.attempts:
+            continue
+        armed.append(faults.Fault(site=str(spec["site"]),
+                                  action=str(spec["action"]),
+                                  step=spec.get("step"),
+                                  times=int(spec.get("times", 1))))
+    if armed:
+        faults.install(*armed)
+
+
+def _train_doppelganger(record: JobRecord, data: TimeSeriesDataset,
+                        checkpoint: str):
+    """Fit the paper's model with checkpoint/resume and the sentinel."""
+    from repro.core.config import DGConfig
+    from repro.core.doppelganger import DoppelGANger
+
+    train = record.train
+    width = int(train.get("hidden", 32))
+    sample_len = train.get("sample_len") or \
+        DGConfig.recommended_sample_len(data.schema.max_length,
+                                        target_passes=25)
+    config = DGConfig(
+        sample_len=sample_len,
+        attribute_hidden=(width, width), minmax_hidden=(width, width),
+        feature_rnn_units=max(width * 3 // 4, 8),
+        feature_mlp_hidden=(width,),
+        discriminator_hidden=(width, width),
+        aux_discriminator_hidden=(width, width),
+        batch_size=int(train.get("batch_size", 32)),
+        iterations=int(train.get("iterations", 400)),
+        seed=int(train.get("seed", 0)),
+    )
+    model = DoppelGANger(data.schema, config)
+    sentinel = None
+    if train.get("sentinel"):
+        from repro.resilience import SentinelPolicy
+        sentinel = SentinelPolicy(
+            max_retries=int(train.get("max_retries", 3)))
+    resume_from = checkpoint if os.path.exists(checkpoint) else None
+    model.fit(data, train_state_path=checkpoint,
+              checkpoint_every=int(train.get("checkpoint_every", 25)),
+              resume_from=resume_from, sentinel=sentinel)
+    return model
+
+
+def _train_generic(record: JobRecord, data: TimeSeriesDataset):
+    """Fit any other registered backend from bench-scale defaults."""
+    from repro.experiments.configs import BENCH
+
+    backend = get_backend(record.backend)
+    train = record.train
+    width = int(train.get("hidden", 32))
+    config = backend.make_config(
+        "custom", BENCH, seed=int(train.get("seed", 0)),
+        iterations=int(train.get("iterations", 400)),
+        batch_size=int(train.get("batch_size", 32)),
+        hidden=(width, width), generator_hidden=(width, width),
+        discriminator_hidden=(width, width))
+    model = backend.from_config(data.schema, config)
+    backend.fit(model, data)
+    return model
+
+
+def run_job(job_dir: str, registry_root: str) -> int:
+    """Execute one attempt of the job in ``job_dir``; returns exit code."""
+    store = JobStore(os.path.dirname(os.path.abspath(job_dir)))
+    job_id = os.path.basename(os.path.normpath(job_dir))
+    record = store.get(job_id)
+    _arm_faults(record)
+
+    if store.read_result(job_id) is not None:
+        return 0  # a previous attempt already finished everything
+
+    backend = get_backend(record.backend)
+    model_path = store.model_path(job_id)
+    if not os.path.exists(model_path):
+        data = TimeSeriesDataset.load(store.data_path(job_id))
+        events_path = store.events_path(job_id, max(record.attempts, 1))
+        with obs_events.capture(obs_events.EventLog(events_path,
+                                                    run_id=job_id)):
+            if backend.name == "doppelganger":
+                model = _train_doppelganger(
+                    record, data, store.checkpoint_path(job_id))
+            else:
+                model = _train_generic(record, data)
+        _write_atomic(model_path, backend.save_bytes(model))
+
+    # Publish boundary: a kill here leaves the finished model archive on
+    # disk; the relaunch takes the publish-only path above.
+    faults.fire("jobs.pre_publish")
+    with open(model_path, "rb") as handle:
+        blob = handle.read()
+    registry = ModelRegistry(registry_root)
+    published = registry.publish(record.name, blob,
+                                 backend=backend.name,
+                                 meta={"job_id": job_id})
+    faults.fire("jobs.pre_receipt")
+    receipt = {"spec": published.spec, "name": published.name,
+               "version": published.version, "sha256": published.sha256,
+               "nbytes": published.nbytes, "backend": published.backend}
+    _write_atomic(store.result_path(job_id),
+                  (json.dumps(receipt, sort_keys=True, indent=2)
+                   + "\n").encode("utf-8"))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.worker",
+        description="one supervised attempt of a training job")
+    parser.add_argument("--job-dir", required=True)
+    parser.add_argument("--registry", required=True)
+    args = parser.parse_args(argv)
+    try:
+        return run_job(args.job_dir, args.registry)
+    except faults.SimulatedKill as exc:
+        # Die like SIGKILL would: no unwinding, no buffered writes.
+        print(f"simulated kill: {exc}", file=sys.stderr, flush=True)
+        os._exit(KILL_EXIT_CODE)
+    except Exception as exc:
+        print(f"worker failed: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""The bounded deterministic retry helper (repro.resilience.retry)."""
+
+import pytest
+
+from repro.resilience.retry import RetryPolicy, retry_call
+
+
+class TestRetryPolicy:
+    def test_schedule_is_deterministic_exponential(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1,
+                             multiplier=2.0, max_delay=10.0)
+        assert policy.delays() == (0.1, 0.2, 0.4, 0.8)
+        # Same policy, same schedule: no wall-clock randomness anywhere.
+        assert policy.delays() == RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0,
+            max_delay=10.0).delays()
+
+    def test_max_delay_caps_the_schedule(self):
+        policy = RetryPolicy(max_attempts=6, base_delay=1.0,
+                             multiplier=3.0, max_delay=5.0)
+        assert policy.delays() == (1.0, 3.0, 5.0, 5.0, 5.0)
+
+    def test_single_attempt_has_no_delays(self):
+        assert RetryPolicy(max_attempts=1).delays() == ()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"multiplier": 0.5},
+    ])
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestRetryCall:
+    def test_success_passes_value_through_without_sleeping(self):
+        slept = []
+        assert retry_call(lambda: 42, retry_on=(OSError,),
+                          sleep=slept.append) == 42
+        assert slept == []
+
+    def test_retries_then_succeeds(self):
+        slept = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionRefusedError("not yet")
+            return "ok"
+
+        result = retry_call(flaky, retry_on=(ConnectionRefusedError,),
+                            policy=RetryPolicy(max_attempts=4,
+                                               base_delay=0.5,
+                                               multiplier=2.0),
+                            sleep=slept.append)
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert slept == [0.5, 1.0]  # the exact deterministic schedule
+
+    def test_budget_exhausted_raises_last_exception(self):
+        slept = []
+
+        def always_fails():
+            raise OSError("still down")
+
+        with pytest.raises(OSError, match="still down"):
+            retry_call(always_fails, retry_on=(OSError,),
+                       policy=RetryPolicy(max_attempts=3,
+                                          base_delay=0.1),
+                       sleep=slept.append)
+        assert len(slept) == 2  # max_attempts - 1 sleeps
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def wrong_kind():
+            calls["n"] += 1
+            raise ValueError("corrupt input, do not retry")
+
+        with pytest.raises(ValueError):
+            retry_call(wrong_kind, retry_on=(OSError,),
+                       policy=RetryPolicy(max_attempts=5),
+                       sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_observer_sees_attempts_and_delays(self):
+        seen = []
+
+        def fails_twice():
+            if len(seen) < 2:
+                raise OSError("boom")
+            return "done"
+
+        retry_call(fails_twice, retry_on=(OSError,),
+                   policy=RetryPolicy(max_attempts=3, base_delay=0.25,
+                                      multiplier=2.0),
+                   sleep=lambda _: None,
+                   on_retry=lambda a, e, d: seen.append((a, d)))
+        assert seen == [(1, 0.25), (2, 0.5)]
+
+    def test_zero_delay_never_calls_sleep(self):
+        slept = []
+        attempts = {"n": 0}
+
+        def once():
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise OSError("x")
+            return 1
+
+        retry_call(once, retry_on=(OSError,),
+                   policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+                   sleep=slept.append)
+        assert slept == []
+
+
+class TestRegistryManifestRetry:
+    """The registry rides out transient manifest-read failures."""
+
+    def test_transient_read_failure_is_retried(self, tmp_path,
+                                               monkeypatch):
+        import json
+
+        from repro.serve.registry import ModelRegistry, RegistryError
+
+        registry = ModelRegistry(tmp_path)
+        path = registry._manifest_path("m")
+        good = json.dumps({"name": "m", "versions": [
+            {"version": 1, "sha256": "0" * 64, "nbytes": 1,
+             "backend": "doppelganger", "meta": {}}]})
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(good)
+
+        real_open = open
+        state = {"failures": 2}
+
+        def flaky_open(file, *args, **kwargs):
+            if str(file) == path and state["failures"] > 0:
+                state["failures"] -= 1
+                raise OSError("transient")
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr("builtins.open", flaky_open)
+        record = registry.resolve("m@1")
+        assert record.version == 1
+
+        # A *persistent* failure still surfaces as a RegistryError.
+        state["failures"] = 10 ** 6
+        with pytest.raises(RegistryError, match="unreadable or corrupt"):
+            registry.resolve("m@1")
+
+    def test_missing_manifest_is_not_retried(self, tmp_path,
+                                             monkeypatch):
+        from repro.serve.registry import ModelNotFound, ModelRegistry
+
+        registry = ModelRegistry(tmp_path)
+        slept = []
+        monkeypatch.setattr("repro.resilience.retry.time.sleep",
+                            slept.append)
+        with pytest.raises(ModelNotFound):
+            registry.resolve("ghost")
+        assert slept == []
