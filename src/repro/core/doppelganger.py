@@ -264,15 +264,50 @@ class DoppelGANger:
         z_f = self.feature_generator.sample_noise(size, rng).data
         return (z_a, z_m, z_f)
 
+    def _block_plan(self, attr: str, fn):
+        """Lazily build a generation :class:`PlanFunction` (serving hot
+        path).  ``copy_outputs=True`` because callers retain the arrays
+        across blocks (they are concatenated after all blocks run)."""
+        plan = self.__dict__.get(attr)
+        if plan is None:
+            from repro.nn.plan import PlanFunction
+            plan = PlanFunction(fn, params=self.trainer.generator_params,
+                                name=attr.strip("_"), copy_outputs=True)
+            self.__dict__[attr] = plan
+        return plan
+
+    def __getstate__(self):
+        # Generation plans hold locks/arenas; sharded generation pickles
+        # the model, so drop them (workers re-trace on first block).
+        state = self.__dict__.copy()
+        for key in ("_gen_plan_uncond", "_gen_plan_cond"):
+            state.pop(key, None)
+        return state
+
+    def _uncond_block_fn(self, z_a, z_m, z_f):
+        with no_grad():
+            return self.trainer.generate_batch(
+                z_a.shape[0], noise=(z_a, z_m, z_f))
+
+    def _cond_block_fn(self, cond, z_m, z_f):
+        with no_grad():
+            return self.trainer.generate_batch(
+                cond.shape[0], attributes=Tensor(cond),
+                noise=(None, z_m, z_f))
+
     def _generate_block(self, size: int, noise: tuple,
                         cond_encoded: np.ndarray | None
                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Generate one pre-drawn noise block (serial and sharded paths)."""
-        cond = Tensor(cond_encoded) if cond_encoded is not None else None
-        with no_grad():
-            a, m, f = self.trainer.generate_batch(size, attributes=cond,
-                                                  noise=noise)
-        return a.data, m.data, f.data
+        z_a, z_m, z_f = noise
+        if cond_encoded is not None:
+            plan = self._block_plan("_gen_plan_cond", self._cond_block_fn)
+            a, m, f = plan((np.asarray(cond_encoded, dtype=np.float64),
+                            z_m, z_f))
+        else:
+            plan = self._block_plan("_gen_plan_uncond", self._uncond_block_fn)
+            a, m, f = plan((z_a, z_m, z_f))
+        return a, m, f
 
     # -- flexibility / attribute privacy (§5.2, §5.3.2) -----------------------
     def retrain_attribute_generator(

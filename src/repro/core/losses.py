@@ -24,10 +24,17 @@ __all__ = ["critic_loss", "generator_loss", "gradient_penalty",
 
 
 def gradient_penalty(critic: Module, real_flat: Tensor, fake_flat: Tensor,
-                     rng: np.random.Generator) -> Tensor:
-    """WGAN-GP penalty on random interpolates between real and fake."""
+                     rng: np.random.Generator,
+                     t: Tensor | None = None) -> Tensor:
+    """WGAN-GP penalty on random interpolates between real and fake.
+
+    ``t`` optionally supplies the pre-drawn ``U(0,1)^{B x 1}`` interpolation
+    coefficients; the plan-compiled trainer draws them up front (in the
+    historical rng order) so the traced step is a pure array function.
+    """
     batch = real_flat.shape[0]
-    t = Tensor(rng.uniform(size=(batch, 1)))
+    if t is None:
+        t = Tensor(rng.uniform(size=(batch, 1)))
     interpolates = t * real_flat.detach() + (Tensor(1.0) - t) * fake_flat.detach()
     interpolates.requires_grad = True
     scores = critic(interpolates)
@@ -38,11 +45,13 @@ def gradient_penalty(critic: Module, real_flat: Tensor, fake_flat: Tensor,
 
 
 def critic_loss(critic: Module, real_flat: Tensor, fake_flat: Tensor,
-                gp_weight: float, rng: np.random.Generator) -> Tensor:
+                gp_weight: float, rng: np.random.Generator,
+                gp_noise: Tensor | None = None) -> Tensor:
     """Full critic objective: Wasserstein estimate + gradient penalty."""
     wasserstein = critic(fake_flat).mean() - critic(real_flat).mean()
     if gp_weight:
-        penalty = gradient_penalty(critic, real_flat, fake_flat, rng)
+        penalty = gradient_penalty(critic, real_flat, fake_flat, rng,
+                                   t=gp_noise)
         return wasserstein + Tensor(float(gp_weight)) * penalty
     return wasserstein
 

@@ -177,29 +177,42 @@ class DGTrainer:
                 Tensor(data.features[idx]))
 
     # -- loss assembly ---------------------------------------------------------
-    def _one_critic_loss(self, critic, real_flat, fake_flat) -> Tensor:
+    def _one_critic_loss(self, critic, real_flat, fake_flat,
+                         gp_noise: Tensor | None = None) -> Tensor:
         if self.config.loss_type == "vanilla":
             return vanilla_discriminator_loss(critic, real_flat, fake_flat)
         return critic_loss(critic, real_flat, fake_flat,
-                           self.config.gradient_penalty_weight, self.rng)
+                           self.config.gradient_penalty_weight, self.rng,
+                           gp_noise=gp_noise)
 
     def _one_generator_loss(self, critic, fake_flat) -> Tensor:
         if self.config.loss_type == "vanilla":
             return vanilla_generator_loss(critic, fake_flat)
         return generator_loss(critic, fake_flat)
 
-    def _combined_critic_loss(self, real, fake) -> Tensor:
+    def _combined_critic_loss(self, real, fake, gp_noise=()) -> Tensor:
+        """Two-discriminator critic loss (Eq. 2).
+
+        ``gp_noise`` optionally supplies pre-drawn gradient-penalty
+        coefficients (main critic first, then aux); when empty each
+        penalty draws from ``self.rng`` as before.
+        """
         real_attr, real_mm, real_feat = real
         fake_attr, fake_mm, fake_feat = fake
+        queue = list(gp_noise)
         real_flat = self.discriminator.flatten(real_attr, real_mm, real_feat)
         fake_flat = self.discriminator.flatten(fake_attr, fake_mm, fake_feat)
         loss = self._one_critic_loss(self.discriminator, real_flat,
-                                     fake_flat)
+                                     fake_flat,
+                                     gp_noise=queue.pop(0) if queue
+                                     else None)
         if self.aux_discriminator is not None:
             real_aux = self.aux_discriminator.flatten(real_attr, real_mm)
             fake_aux = self.aux_discriminator.flatten(fake_attr, fake_mm)
             aux = self._one_critic_loss(self.aux_discriminator, real_aux,
-                                        fake_aux)
+                                        fake_aux,
+                                        gp_noise=queue.pop(0) if queue
+                                        else None)
             loss = loss + Tensor(self.config.aux_discriminator_weight) * aux
         return loss
 
@@ -213,28 +226,111 @@ class DGTrainer:
                 self._one_generator_loss(self.aux_discriminator, fake_aux)
         return loss
 
+    # -- plan-compiled step functions ------------------------------------------
+    #
+    # The hot per-iteration work (generator forward, critic losses, double
+    # backprop, gradients) is expressed as pure array functions and routed
+    # through repro.nn.plan.PlanFunction: the first step with a given batch
+    # shape traces eagerly, later steps replay the recorded schedule with
+    # no graph rebuild or per-op allocation.  All rng draws happen *before*
+    # the planned call, in the exact order the eager code consumed them, so
+    # the noise stream (and therefore every loss) is unchanged.  Optimizer
+    # updates stay eager: Adam's bias correction changes every iteration,
+    # so it is not a fixed schedule.
+
+    def _plan(self, attr: str, fn, **kwargs):
+        plan = self.__dict__.get(attr)
+        if plan is None:
+            from repro.nn.plan import PlanFunction
+            plan = PlanFunction(
+                fn, params=self.generator_params + self.discriminator_params,
+                name=attr.strip("_"), **kwargs)
+            self.__dict__[attr] = plan
+        return plan
+
+    def __getstate__(self):
+        # Plans hold closures, locks, and preallocated arenas -- not
+        # picklable and cheap to re-trace.  Dropping them keeps trainer
+        # snapshots (SweepCache, sharded generation) working.
+        state = self.__dict__.copy()
+        for key in ("_d_plan", "_g_plan", "_w_plan"):
+            state.pop(key, None)
+        return state
+
+    def _draw_step_noise(self, batch: int) -> tuple:
+        """(z_a, z_m, z_f) arrays, drawn in the historical rng order."""
+        return (self.attribute_generator.sample_noise(batch, self.rng).data,
+                self.minmax_generator.sample_noise(batch, self.rng).data,
+                self.feature_generator.sample_noise(batch, self.rng).data)
+
+    def _draw_gp_noise(self, batch: int) -> tuple:
+        """Pre-draw gradient-penalty coefficients (main critic, then aux),
+        matching the draws ``_combined_critic_loss`` would make inline."""
+        if self.config.loss_type == "vanilla" or \
+                not self.config.gradient_penalty_weight:
+            return ()
+        ts = [self.rng.uniform(size=(batch, 1))]
+        if self.aux_discriminator is not None:
+            ts.append(self.rng.uniform(size=(batch, 1)))
+        return tuple(ts)
+
+    def _d_step_fn(self, real_attr, real_mm, real_feat, z_a, z_m, z_f,
+                   *gp_noise):
+        batch = real_attr.shape[0]
+        with no_grad():
+            fake = self.generate_batch(batch, noise=(z_a, z_m, z_f))
+        fake = tuple(part.detach() for part in fake)
+        real = (Tensor(real_attr), Tensor(real_mm), Tensor(real_feat))
+        loss = self._combined_critic_loss(
+            real, fake, gp_noise=tuple(Tensor(t) for t in gp_noise))
+        grads = grad(loss, self.discriminator_params, allow_unused=True)
+        return (loss,) + fake + tuple(grads)
+
+    def _g_step_fn(self, z_a, z_m, z_f):
+        fake = self.generate_batch(z_a.shape[0], noise=(z_a, z_m, z_f))
+        loss = self._combined_generator_loss(fake)
+        grads = grad(loss, self.generator_params, allow_unused=True)
+        return (loss,) + tuple(grads)
+
+    def _w_fn(self, real_attr, real_mm, real_feat, fake_attr, fake_mm,
+              fake_feat):
+        with no_grad():
+            real_flat = self.discriminator.flatten(
+                Tensor(real_attr), Tensor(real_mm), Tensor(real_feat))
+            fake_flat = self.discriminator.flatten(
+                Tensor(fake_attr), Tensor(fake_mm), Tensor(fake_feat))
+            return (self.discriminator(real_flat).mean(),
+                    self.discriminator(fake_flat).mean())
+
     # -- update steps ----------------------------------------------------------
     def discriminator_step(self, data: EncodedDataset) -> tuple[float, float]:
         """One critic update; returns (loss, wasserstein estimate)."""
         batch = min(self.config.batch_size, len(data))
-        with no_grad():
-            fake = self.generate_batch(batch)
-        fake = tuple(part.detach() for part in fake)
-        real = self._real_batch(data, batch)
+        noise = self._draw_step_noise(batch)
+        idx = self.rng.integers(0, len(data), size=batch)
+        real_arrays = (data.attributes[idx], data.minmax[idx],
+                       data.features[idx])
 
         if self._dp_processor is not None:
+            with no_grad():
+                fake = self.generate_batch(batch, noise=noise)
+            fake = tuple(part.detach() for part in fake)
+            real = tuple(Tensor(a) for a in real_arrays)
             return self._dp_discriminator_step(real, fake)
 
-        loss = self._combined_critic_loss(real, fake)
-        grads = grad(loss, self.discriminator_params, allow_unused=True)
+        gp_noise = self._draw_gp_noise(batch)
+        outs = self._plan("_d_plan", self._d_step_fn)(
+            real_arrays + noise + gp_noise)
+        loss_arr, fake_arrays, grads = outs[0], tuple(outs[1:4]), outs[4:]
         if self.config.gradient_clip_norm is not None:
             clip_grad_norm(grads, self.config.gradient_clip_norm)
         if telemetry_active():
             self._last_d_grad_norm = grad_norm(grads)
         self.d_optimizer.step(grads)
-        with no_grad():
-            w = self._wasserstein_estimate(real, fake)
-        return loss.item(), w
+        # Post-update Wasserstein estimate, as before; the plan re-reads
+        # parameters live, so it sees the optimizer step above.
+        rm, fm = self._plan("_w_plan", self._w_fn)(real_arrays + fake_arrays)
+        return loss_arr.item(), float(rm.item() - fm.item())
 
     def _dp_discriminator_step(self, real, fake) -> tuple[float, float]:
         """Critic update with per-microbatch clipping + Gaussian noise."""
@@ -263,15 +359,15 @@ class DGTrainer:
 
     def generator_step(self) -> float:
         """One generator update through both critics."""
-        fake = self.generate_batch(self.config.batch_size)
-        loss = self._combined_generator_loss(fake)
-        grads = grad(loss, self.generator_params, allow_unused=True)
+        noise = self._draw_step_noise(self.config.batch_size)
+        outs = self._plan("_g_plan", self._g_step_fn)(noise)
+        loss_arr, grads = outs[0], outs[1:]
         if self.config.gradient_clip_norm is not None:
             clip_grad_norm(grads, self.config.gradient_clip_norm)
         if telemetry_active():
             self._last_g_grad_norm = grad_norm(grads)
         self.g_optimizer.step(grads)
-        return loss.item()
+        return loss_arr.item()
 
     def _wasserstein_estimate(self, real, fake) -> float:
         real_flat = self.discriminator.flatten(*real)

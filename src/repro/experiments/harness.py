@@ -183,7 +183,9 @@ def get_model(dataset_name: str, model_name: str, scale: BenchScale = BENCH,
         dataset_name, scale)
     model = _build_model(dataset_name, model_name, scale, data.schema,
                          seed=seed, **config_overrides)
-    started = time.time()
+    # monotonic: wall-clock adjustments must not produce negative elapsed
+    # (matches serve/batcher.py timing).
+    started = time.monotonic()
     try:
         # REPRO_PROFILE=1 prints the op-level hot list of every run.
         if os.environ.get("REPRO_PROFILE"):
@@ -199,13 +201,13 @@ def get_model(dataset_name: str, model_name: str, scale: BenchScale = BENCH,
     except Exception as exc:
         record = FailureRecord.from_exception(
             dataset_name, model_name, exc, model=model,
-            elapsed=time.time() - started)
+            elapsed=time.monotonic() - started)
         _FAILURES.append(record)
         print(f"[harness] FAILED {MODEL_NAMES.get(model_name, model_name)} "
               f"on {dataset_name}: {record.exception_type}: "
               f"{record.message}", file=sys.stderr)
         raise
-    elapsed = time.time() - started
+    elapsed = time.monotonic() - started
     print(f"[harness] trained {MODEL_NAMES.get(model_name, model_name)} "
           f"on {dataset_name}{' (' + cache_tag + ')' if cache_tag else ''} "
           f"in {elapsed:.1f}s", file=sys.stderr)

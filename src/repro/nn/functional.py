@@ -22,14 +22,16 @@ def softmax(x, axis: int = -1) -> Tensor:
     gradient (and the second derivative) remain exact.
     """
     x = astensor(x)
-    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    # ops._amax (not .max() inline) so the plan tracer sees the shift as a
+    # recomputed value rather than a baked-in constant.
+    shift = Tensor(ops._amax(x.data, axis=axis, keepdims=True))
     e = ops.exp(x - shift)
     return e / e.sum(axis=axis, keepdims=True)
 
 
 def log_softmax(x, axis: int = -1) -> Tensor:
     x = astensor(x)
-    shift = Tensor(x.data.max(axis=axis, keepdims=True))
+    shift = Tensor(ops._amax(x.data, axis=axis, keepdims=True))
     shifted = x - shift
     return shifted - ops.log(ops.exp(shifted).sum(axis=axis, keepdims=True))
 

@@ -16,6 +16,18 @@ hand-written backward passes:
   backward is hand-written truncated-free BPTT with batched weight-gradient
   GEMMs.
 
+The raw array math lives in module-level pure helpers
+(:func:`_linear_forward`, :func:`_lstm_seq_forward`,
+:func:`_lstm_seq_backward`, ...) that the graph-building wrappers resolve
+through module globals at call time.  That indirection is the kernels'
+*replay hook*: the plan compiler (:mod:`repro.nn.plan`) patches the helpers
+during tracing to record their inputs/outputs, then re-invokes them against
+preallocated workspaces on every replay.  The helpers accept an optional
+``ws=`` workspace dict (see :func:`_lstm_seq_workspace`) so a replay can
+run the scan allocation-free; with or without a workspace the arithmetic
+(operations, operand order, associativity) is identical, so results are
+bit-for-bit the same.
+
 Double-backprop boundary (important): the gradient penalty only needs
 second-order gradients through the *discriminator* MLPs, never through the
 LSTM generator (fake samples are detached before entering the critic loss).
@@ -38,6 +50,7 @@ import time
 import numpy as np
 
 from repro.nn import ops
+from repro.nn.ops import _sigmoid_stable
 from repro.nn.profiler import PROFILER, profiled
 from repro.nn.tensor import Tensor, astensor, is_grad_enabled
 
@@ -72,15 +85,30 @@ def fused_kernels(enabled: bool = True):
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
-    # Same stable piecewise logistic as ops.sigmoid (bit-identical per
-    # element), but masked so each branch's exp runs only on its own
-    # elements instead of np.where evaluating both on the full array.
-    out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-np.clip(x[pos], -500, 500)))
-    neg = ~pos
-    e = np.exp(np.clip(x[neg], -500, 500))
-    out[neg] = e / (1.0 + e)
+    # Same stable logistic as ops.sigmoid (bit-identical per element).
+    return _sigmoid_stable(x)
+
+
+def _sigmoid_into(x: np.ndarray, out: np.ndarray, tmp: np.ndarray,
+                  mask: np.ndarray) -> np.ndarray:
+    """Buffered :func:`repro.nn.ops._sigmoid_stable` (bit-identical values).
+
+    ``e = exp(-|clip(x)|)`` is built in ``out``; ``tmp`` holds the shared
+    denominator then the x>=0 branch; ``mask`` selects between branches.
+    ``|clip(x, -500, 500)|`` is spelled ``minimum(|x|, 500)`` -- the same
+    bits (including NaN propagation) in two ufunc calls instead of
+    ``np.clip``'s Python wrapper plus ``absolute``, which is measurable
+    overhead at one call per gate per timestep.
+    """
+    np.absolute(x, out=out)
+    np.minimum(out, 500.0, out=out)
+    np.negative(out, out=out)
+    np.exp(out, out=out)          # out = e
+    np.add(1.0, out, out=tmp)     # tmp = 1 + e
+    np.divide(out, tmp, out=out)  # out = e / (1 + e)   (x < 0 branch)
+    np.divide(1.0, tmp, out=tmp)  # tmp = 1 / (1 + e)   (x >= 0 branch)
+    np.greater_equal(x, 0, out=mask)
+    np.copyto(out, tmp, where=mask)
     return out
 
 
@@ -92,6 +120,239 @@ def _require_first_order(name: str) -> None:
             "supported on the fused path.  Wrap the computation in "
             "repro.nn.kernels.fused_kernels(False) to use the "
             "differentiable reference layers instead.")
+
+
+# -- pure array helpers (plan replay hooks) -----------------------------------
+
+def _linear_forward(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
+                    out: np.ndarray | None = None) -> np.ndarray:
+    """``x @ W + b`` on raw arrays, optionally into a preallocated ``out``."""
+    if out is None:
+        return x @ weight + bias
+    np.matmul(x, weight, out=out)
+    np.add(out, bias, out=out)
+    return out
+
+
+def _lstm_seq_workspace(batch: int, steps: int, in_dim: int, n: int) -> dict:
+    """Preallocated buffers for one fixed-shape LSTM sequence scan."""
+    big = (batch, steps, n)
+    return {
+        "x_proj_flat": np.empty((batch * steps, 4 * n)),
+        "h_out": np.empty(big), "i_all": np.empty(big),
+        "f_all": np.empty(big), "g_all": np.empty(big),
+        "o_all": np.empty(big), "c_prev_all": np.empty(big),
+        "h_prev_all": np.empty(big), "tanh_c_all": np.empty(big),
+        "z": np.empty((batch, 4 * n)),
+        "c": np.empty((batch, n)), "h": np.empty((batch, n)),
+        "tmp": np.empty((batch, n)), "tanh_c": np.empty((batch, n)),
+        # Gate buffers: input+forget share one sigmoid pass over z[:, :2n].
+        "i_f": np.empty((batch, 2 * n)), "g": np.empty((batch, n)),
+        "o": np.empty((batch, n)),
+        "sig_tmp": np.empty((batch, 2 * n)),
+        "sig_mask": np.empty((batch, 2 * n), dtype=bool),
+        "sig_tmp_o": np.empty((batch, n)),
+        "sig_mask_o": np.empty((batch, n), dtype=bool),
+    }
+
+
+def _lstm_seq_forward(x: np.ndarray, h0: np.ndarray, c0: np.ndarray,
+                      wih: np.ndarray, whh: np.ndarray, bias: np.ndarray,
+                      ws: dict | None = None,
+                      need_cache: bool = True) -> tuple:
+    """Forward LSTM scan on raw arrays.
+
+    Returns ``(h_out, i_all, f_all, g_all, o_all, c_prev_all, h_prev_all,
+    tanh_c_all)`` -- the hidden states plus every cache the backward pass
+    needs.  ``ws`` (from :func:`_lstm_seq_workspace`) supplies reusable
+    buffers; the arithmetic is identical either way.
+
+    ``need_cache=False`` skips the seven per-timestep cache stores (the
+    gate/state snapshots only BPTT reads); the returned cache arrays are
+    then stale workspace buffers that must not be consumed.  ``h_out`` is
+    computed by the exact same arithmetic either way, so inference-only
+    scans (plan replays whose cache slots are dead) stay bit-identical
+    while dropping ~7 array copies per timestep.
+    """
+    batch, steps, in_dim = x.shape
+    n = h0.shape[1]
+    if ws is None:
+        ws = _lstm_seq_workspace(batch, steps, in_dim, n)
+    # One GEMM for every step's input contribution.
+    x_proj = np.matmul(x.reshape(batch * steps, in_dim), wih,
+                       out=ws["x_proj_flat"]).reshape(batch, steps, 4 * n)
+    h_out = ws["h_out"]
+    i_all, f_all = ws["i_all"], ws["f_all"]
+    g_all, o_all = ws["g_all"], ws["o_all"]
+    c_prev_all, h_prev_all = ws["c_prev_all"], ws["h_prev_all"]
+    tanh_c_all = ws["tanh_c_all"]
+    z, c_buf, h_buf, tmp = ws["z"], ws["c"], ws["h"], ws["tmp"]
+    tanh_buf = ws["tanh_c"]
+
+    h = h0
+    c = c0
+    for t in range(steps):
+        if need_cache:
+            h_prev_all[:, t] = h
+            c_prev_all[:, t] = c
+        # z = x_proj[:, t] + h @ whh + bias, with the same left-to-right
+        # association as the expression form.
+        np.matmul(h, whh, out=z)
+        np.add(x_proj[:, t], z, out=z)
+        np.add(z, bias, out=z)
+        # Input+forget gates share one sigmoid pass over the first 2n cols.
+        i_f = _sigmoid_into(z[:, 0 * n:2 * n], ws["i_f"], ws["sig_tmp"],
+                            ws["sig_mask"])
+        i = i_f[:, :n]
+        f = i_f[:, n:]
+        g_gate = np.tanh(z[:, 2 * n:3 * n], out=ws["g"])
+        o = _sigmoid_into(z[:, 3 * n:4 * n], ws["o"], ws["sig_tmp_o"],
+                          ws["sig_mask_o"])
+        # c = f * c + i * g_gate  (elementwise; in-place is exact)
+        np.multiply(f, c, out=c_buf)
+        np.multiply(i, g_gate, out=tmp)
+        np.add(c_buf, tmp, out=c_buf)
+        c = c_buf
+        np.tanh(c, out=tanh_buf)
+        np.multiply(o, tanh_buf, out=h_buf)
+        h = h_buf
+        if need_cache:
+            i_all[:, t] = i
+            f_all[:, t] = f
+            g_all[:, t] = g_gate
+            o_all[:, t] = o
+            tanh_c_all[:, t] = tanh_buf
+        h_out[:, t] = h
+    return (h_out, i_all, f_all, g_all, o_all, c_prev_all, h_prev_all,
+            tanh_c_all)
+
+
+def _lstm_seq_bwd_workspace(batch: int, steps: int, in_dim: int,
+                            n: int) -> dict:
+    small = (batch, n)
+    return {
+        "dz_all": np.empty((batch, steps, 4 * n)),
+        "dh": np.empty(small), "dc": np.empty(small),
+        "dh_next": np.empty(small), "dc_next": np.empty(small),
+        "t1": np.empty(small), "t2": np.empty(small),
+        "dx_flat": np.empty((batch * steps, in_dim)),
+        "d_wih": np.empty((in_dim, 4 * n)),
+        "d_whh": np.empty((n, 4 * n)),
+        "d_bias": np.empty(4 * n),
+    }
+
+
+def _lstm_seq_backward(upstream: np.ndarray, x: np.ndarray,
+                       wih: np.ndarray, whh: np.ndarray,
+                       i_all: np.ndarray, f_all: np.ndarray,
+                       g_all: np.ndarray, o_all: np.ndarray,
+                       c_prev_all: np.ndarray, h_prev_all: np.ndarray,
+                       tanh_c_all: np.ndarray,
+                       ws: dict | None = None) -> tuple:
+    """Hand-written BPTT on raw arrays (adjoint of :func:`_lstm_seq_forward`).
+
+    Returns ``(dx, dh0, dc0, d_wih, d_whh, d_bias)``.
+    """
+    batch, steps, in_dim = x.shape
+    n = i_all.shape[2]
+    if ws is None:
+        ws = _lstm_seq_bwd_workspace(batch, steps, in_dim, n)
+    dz_all = ws["dz_all"]
+    dh, dc = ws["dh"], ws["dc"]
+    dh_next, dc_next = ws["dh_next"], ws["dc_next"]
+    t1, t2 = ws["t1"], ws["t2"]
+    dh_next.fill(0.0)
+    dc_next.fill(0.0)
+    for t in reversed(range(steps)):
+        np.add(upstream[:, t], dh_next, out=dh)
+        tanh_c = tanh_c_all[:, t]
+        o = o_all[:, t]
+        i = i_all[:, t]
+        f = f_all[:, t]
+        g_gate = g_all[:, t]
+        # dc = dc_next + dh * o * (1 - tanh_c^2)
+        np.multiply(tanh_c, tanh_c, out=t1)
+        np.subtract(1.0, t1, out=t1)
+        np.multiply(dh, o, out=t2)
+        np.multiply(t2, t1, out=t2)
+        np.add(dc_next, t2, out=dc)
+        dz = dz_all[:, t]
+        # dz_i = (dc * g) * (i * (1 - i))
+        np.subtract(1.0, i, out=t1)
+        np.multiply(i, t1, out=t1)
+        np.multiply(dc, g_gate, out=t2)
+        np.multiply(t2, t1, out=dz[:, 0 * n:1 * n])
+        # dz_f = (dc * c_prev) * (f * (1 - f))
+        np.subtract(1.0, f, out=t1)
+        np.multiply(f, t1, out=t1)
+        np.multiply(dc, c_prev_all[:, t], out=t2)
+        np.multiply(t2, t1, out=dz[:, 1 * n:2 * n])
+        # dz_g = (dc * i) * (1 - g^2)
+        np.multiply(g_gate, g_gate, out=t1)
+        np.subtract(1.0, t1, out=t1)
+        np.multiply(dc, i, out=t2)
+        np.multiply(t2, t1, out=dz[:, 2 * n:3 * n])
+        # dz_o = (dh * tanh_c) * (o * (1 - o))
+        np.subtract(1.0, o, out=t1)
+        np.multiply(o, t1, out=t1)
+        np.multiply(dh, tanh_c, out=t2)
+        np.multiply(t2, t1, out=dz[:, 3 * n:4 * n])
+        np.matmul(dz, whh.T, out=dh_next)
+        np.multiply(dc, f, out=dc_next)
+    flat_dz = dz_all.reshape(batch * steps, 4 * n)
+    dx = np.matmul(flat_dz, wih.T, out=ws["dx_flat"]).reshape(batch, steps,
+                                                              in_dim)
+    d_wih = np.matmul(x.reshape(batch * steps, in_dim).T, flat_dz,
+                      out=ws["d_wih"])
+    d_whh = np.matmul(h_prev_all.reshape(batch * steps, n).T, flat_dz,
+                      out=ws["d_whh"])
+    d_bias = flat_dz.sum(axis=0, out=ws["d_bias"])
+    return dx, dh_next, dc_next, d_wih, d_whh, d_bias
+
+
+def _lstm_cell_forward(x: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray,
+                       wih: np.ndarray, whh: np.ndarray, bias: np.ndarray
+                       ) -> tuple:
+    """One LSTM step on raw arrays; returns ``(h, c, i, f, g, o, tanh_c)``."""
+    n = h_prev.shape[1]
+    z = x @ wih + h_prev @ whh + bias
+    i_f = _sigmoid(z[:, 0 * n:2 * n])  # input+forget gates share one pass
+    i = i_f[:, :n]
+    f = i_f[:, n:]
+    g_gate = np.tanh(z[:, 2 * n:3 * n])
+    o = _sigmoid(z[:, 3 * n:4 * n])
+    c = f * c_prev + i * g_gate
+    tanh_c = np.tanh(c)
+    h = o * tanh_c
+    return h, c, i, f, g_gate, o, tanh_c
+
+
+def _lstm_cell_backward(dh: np.ndarray | None, dc_direct: np.ndarray | None,
+                        x: np.ndarray, h_prev: np.ndarray,
+                        c_prev: np.ndarray, wih: np.ndarray,
+                        whh: np.ndarray, i: np.ndarray, f: np.ndarray,
+                        g_gate: np.ndarray, o: np.ndarray,
+                        tanh_c: np.ndarray) -> tuple:
+    """Closed-form cell VJP on raw arrays.
+
+    Returns ``(dx, dh_prev, dc_prev, d_wih, d_whh, d_bias)``.
+    """
+    n = i.shape[1]
+    if dh is not None:
+        dc = dh * o * (1.0 - tanh_c * tanh_c)
+        dz_o = (dh * tanh_c) * (o * (1.0 - o))
+    else:
+        dc = np.zeros_like(tanh_c)
+        dz_o = np.zeros_like(tanh_c)
+    if dc_direct is not None:
+        dc = dc + dc_direct
+    dz = np.empty((i.shape[0], 4 * n))
+    dz[:, 0 * n:1 * n] = (dc * g_gate) * (i * (1.0 - i))
+    dz[:, 1 * n:2 * n] = (dc * c_prev) * (f * (1.0 - f))
+    dz[:, 2 * n:3 * n] = (dc * i) * (1.0 - g_gate * g_gate)
+    dz[:, 3 * n:4 * n] = dz_o
+    return (dz @ wih.T, dz @ whh.T, dc * f, x.T @ dz, h_prev.T @ dz,
+            dz.sum(axis=0))
 
 
 # -- fused affine -------------------------------------------------------------
@@ -106,7 +367,7 @@ def linear(x, weight, bias) -> Tensor:
     x, weight, bias = astensor(x), astensor(weight), astensor(bias)
     if x.ndim != 2:
         raise ValueError("kernels.linear requires a 2-D input")
-    out = x.data @ weight.data + bias.data
+    out = _linear_forward(x.data, weight.data, bias.data)
 
     def vjp(g):
         return (ops.matmul(g, ops.transpose(weight)),
@@ -131,40 +392,19 @@ def lstm_cell(x, h_prev, c_prev, weight_ih, weight_hh, bias
     x, h_prev, c_prev = astensor(x), astensor(h_prev), astensor(c_prev)
     weight_ih, weight_hh, bias = (astensor(weight_ih), astensor(weight_hh),
                                   astensor(bias))
-    n = h_prev.shape[1]
-    z = x.data @ weight_ih.data + h_prev.data @ weight_hh.data + bias.data
-    i_f = _sigmoid(z[:, 0 * n:2 * n])  # input+forget gates share one pass
-    i = i_f[:, :n]
-    f = i_f[:, n:]
-    g_gate = np.tanh(z[:, 2 * n:3 * n])
-    o = _sigmoid(z[:, 3 * n:4 * n])
-    c = f * c_prev.data + i * g_gate
-    tanh_c = np.tanh(c)
-    h = o * tanh_c
+    h, c, i, f, g_gate, o, tanh_c = _lstm_cell_forward(
+        x.data, h_prev.data, c_prev.data, weight_ih.data, weight_hh.data,
+        bias.data)
 
     parents = (x, h_prev, c_prev, weight_ih, weight_hh, bias)
 
     def backward(dh: np.ndarray | None, dc_direct: np.ndarray | None):
         started = time.perf_counter()
-        if dh is not None:
-            dc = dh * o * (1.0 - tanh_c * tanh_c)
-            dz_o = (dh * tanh_c) * (o * (1.0 - o))
-        else:
-            dc = np.zeros_like(c)
-            dz_o = np.zeros_like(c)
-        if dc_direct is not None:
-            dc = dc + dc_direct
-        dz = np.empty_like(z)
-        dz[:, 0 * n:1 * n] = (dc * g_gate) * (i * (1.0 - i))
-        dz[:, 1 * n:2 * n] = (dc * c_prev.data) * (f * (1.0 - f))
-        dz[:, 2 * n:3 * n] = (dc * i) * (1.0 - g_gate * g_gate)
-        dz[:, 3 * n:4 * n] = dz_o
-        grads = (Tensor(dz @ weight_ih.data.T),
-                 Tensor(dz @ weight_hh.data.T),
-                 Tensor(dc * f),
-                 Tensor(x.data.T @ dz),
-                 Tensor(h_prev.data.T @ dz),
-                 Tensor(dz.sum(axis=0)))
+        arrays = _lstm_cell_backward(dh, dc_direct, x.data, h_prev.data,
+                                     c_prev.data, weight_ih.data,
+                                     weight_hh.data, i, f, g_gate, o,
+                                     tanh_c)
+        grads = tuple(Tensor(a) for a in arrays)
         if PROFILER.active:
             PROFILER.record("lstm_cell.backward",
                             time.perf_counter() - started)
@@ -201,74 +441,21 @@ def lstm_sequence(x, h0, c0, weight_ih, weight_hh, bias) -> Tensor:
                                   astensor(bias))
     if x.ndim != 3:
         raise ValueError("lstm_sequence requires (batch, time, features)")
-    batch, steps, in_dim = x.shape
-    n = h0.shape[1]
-    whh = weight_hh.data
-    # One GEMM for every step's input contribution.
-    x_proj = (x.data.reshape(batch * steps, in_dim)
-              @ weight_ih.data).reshape(batch, steps, 4 * n)
-
-    i_all = np.empty((batch, steps, n))
-    f_all = np.empty((batch, steps, n))
-    g_all = np.empty((batch, steps, n))
-    o_all = np.empty((batch, steps, n))
-    c_prev_all = np.empty((batch, steps, n))
-    h_prev_all = np.empty((batch, steps, n))
-    tanh_c_all = np.empty((batch, steps, n))
-    h_out = np.empty((batch, steps, n))
-
-    h = h0.data
-    c = c0.data
-    for t in range(steps):
-        h_prev_all[:, t] = h
-        c_prev_all[:, t] = c
-        z = x_proj[:, t] + h @ whh + bias.data
-        i_f = _sigmoid(z[:, 0 * n:2 * n])  # input+forget gates, one pass
-        i = i_f[:, :n]
-        f = i_f[:, n:]
-        g_gate = np.tanh(z[:, 2 * n:3 * n])
-        o = _sigmoid(z[:, 3 * n:4 * n])
-        c = f * c + i * g_gate
-        tanh_c = np.tanh(c)
-        h = o * tanh_c
-        i_all[:, t] = i
-        f_all[:, t] = f
-        g_all[:, t] = g_gate
-        o_all[:, t] = o
-        tanh_c_all[:, t] = tanh_c
-        h_out[:, t] = h
+    (h_out, i_all, f_all, g_all, o_all, c_prev_all, h_prev_all,
+     tanh_c_all) = _lstm_seq_forward(x.data, h0.data, c0.data,
+                                     weight_ih.data, weight_hh.data,
+                                     bias.data)
 
     parents = (x, h0, c0, weight_ih, weight_hh, bias)
 
     def vjp(g):
         _require_first_order("lstm_sequence")
         started = time.perf_counter()
-        upstream = g.data
-        dz_all = np.empty((batch, steps, 4 * n))
-        dh_next = np.zeros((batch, n))
-        dc_next = np.zeros((batch, n))
-        for t in reversed(range(steps)):
-            dh = upstream[:, t] + dh_next
-            tanh_c = tanh_c_all[:, t]
-            o = o_all[:, t]
-            i = i_all[:, t]
-            f = f_all[:, t]
-            g_gate = g_all[:, t]
-            dc = dc_next + dh * o * (1.0 - tanh_c * tanh_c)
-            dz = dz_all[:, t]
-            dz[:, 0 * n:1 * n] = (dc * g_gate) * (i * (1.0 - i))
-            dz[:, 1 * n:2 * n] = (dc * c_prev_all[:, t]) * (f * (1.0 - f))
-            dz[:, 2 * n:3 * n] = (dc * i) * (1.0 - g_gate * g_gate)
-            dz[:, 3 * n:4 * n] = (dh * tanh_c) * (o * (1.0 - o))
-            dh_next = dz @ whh.T
-            dc_next = dc * f
-        flat_dz = dz_all.reshape(batch * steps, 4 * n)
-        dx = (flat_dz @ weight_ih.data.T).reshape(batch, steps, in_dim)
-        d_wih = x.data.reshape(batch * steps, in_dim).T @ flat_dz
-        d_whh = h_prev_all.reshape(batch * steps, n).T @ flat_dz
-        d_bias = flat_dz.sum(axis=0)
-        grads = (Tensor(dx), Tensor(dh_next), Tensor(dc_next),
-                 Tensor(d_wih), Tensor(d_whh), Tensor(d_bias))
+        arrays = _lstm_seq_backward(g.data, x.data, weight_ih.data,
+                                    weight_hh.data, i_all, f_all, g_all,
+                                    o_all, c_prev_all, h_prev_all,
+                                    tanh_c_all)
+        grads = tuple(Tensor(a) for a in arrays)
         if PROFILER.active:
             PROFILER.record("lstm_sequence.backward",
                             time.perf_counter() - started)

@@ -110,11 +110,14 @@ class Linear(Module):
         return ops.matmul(x, self.weight) + self.bias
 
 
+# Late-bound through the ops/functional module globals (not direct function
+# references) so runtime instrumentation of those globals -- the profiler's
+# _instrument_ops and the plan tracer's shims -- is visible to MLP forwards.
 _ACTIVATIONS = {
-    "relu": ops.relu,
-    "tanh": ops.tanh,
-    "sigmoid": ops.sigmoid,
-    "leaky_relu": F.leaky_relu,
+    "relu": lambda x: ops.relu(x),
+    "tanh": lambda x: ops.tanh(x),
+    "sigmoid": lambda x: ops.sigmoid(x),
+    "leaky_relu": lambda x: F.leaky_relu(x),
     "none": lambda x: x,
 }
 

@@ -28,6 +28,52 @@ __all__ = [
 _EPS = 1e-12
 
 
+# -- array-level helpers ------------------------------------------------------
+#
+# These compute the *data-dependent constants* some VJPs capture (masks,
+# signs, max-shifts) as plain ndarray functions resolved through module
+# globals at call time.  That indirection is what makes them visible to the
+# plan tracer (repro.nn.plan): a recorded schedule must recompute these
+# values every replay rather than snapshot them from the traced step.
+
+def _sigmoid_stable(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic, one exp over the full array.
+
+    ``exp(-|clip(x)|)`` is the exponential of *both* textbook branches
+    (``1/(1+exp(-x))`` for x >= 0, ``exp(x)/(1+exp(x))`` otherwise), so
+    the selected values are bit-identical to evaluating each branch
+    separately -- without the overflow the naive two-branch ``np.where``
+    evaluation incurs on large-magnitude inputs.
+    """
+    t = np.clip(x, -500, 500)
+    e = np.exp(-np.abs(t))
+    denom = 1.0 + e
+    return np.where(x >= 0, 1.0 / denom, e / denom)
+
+
+def _relu_mask(x: np.ndarray) -> np.ndarray:
+    return (x > 0).astype(np.float64)
+
+
+def _sign_of(x: np.ndarray) -> np.ndarray:
+    return np.sign(x)
+
+
+def _ge_masks(a: np.ndarray, b: np.ndarray) -> tuple:
+    take_a = a >= b
+    return take_a.astype(np.float64), (~take_a).astype(np.float64)
+
+
+def _le_masks(a: np.ndarray, b: np.ndarray) -> tuple:
+    take_a = a <= b
+    return take_a.astype(np.float64), (~take_a).astype(np.float64)
+
+
+def _amax(x: np.ndarray, axis=None, keepdims: bool = False) -> np.ndarray:
+    """Plain max reduction, used where the result is treated as constant."""
+    return x.max(axis=axis, keepdims=keepdims)
+
+
 def _result(data: np.ndarray, parents: Sequence[Tensor], vjp) -> Tensor:
     """Build an op result, recording the graph only when useful."""
     if is_grad_enabled() and any(p.requires_grad for p in parents):
@@ -154,12 +200,7 @@ def tanh(a) -> Tensor:
 
 def sigmoid(a) -> Tensor:
     a = astensor(a)
-    # Numerically stable logistic.
-    data = np.where(a.data >= 0,
-                    1.0 / (1.0 + np.exp(-np.clip(a.data, -500, 500))),
-                    np.exp(np.clip(a.data, -500, 500))
-                    / (1.0 + np.exp(np.clip(a.data, -500, 500))))
-    result = _result(data, (a,), None)
+    result = _result(_sigmoid_stable(a.data), (a,), None)
 
     def vjp(g):
         return (mul(g, mul(result, sub(Tensor(1.0), result))),)
@@ -170,7 +211,7 @@ def sigmoid(a) -> Tensor:
 
 def relu(a) -> Tensor:
     a = astensor(a)
-    mask = Tensor((a.data > 0).astype(np.float64))
+    mask = Tensor(_relu_mask(a.data))
 
     def vjp(g):
         return (mul(g, mask),)
@@ -180,7 +221,7 @@ def relu(a) -> Tensor:
 
 def abs_(a) -> Tensor:
     a = astensor(a)
-    sign = Tensor(np.sign(a.data))
+    sign = Tensor(_sign_of(a.data))
 
     def vjp(g):
         return (mul(g, sign),)
@@ -190,9 +231,9 @@ def abs_(a) -> Tensor:
 
 def maximum(a, b) -> Tensor:
     a, b = astensor(a), astensor(b)
-    take_a = a.data >= b.data
-    mask_a = Tensor(take_a.astype(np.float64))
-    mask_b = Tensor((~take_a).astype(np.float64))
+    mask_a_arr, mask_b_arr = _ge_masks(a.data, b.data)
+    mask_a = Tensor(mask_a_arr)
+    mask_b = Tensor(mask_b_arr)
 
     def vjp(g):
         return (_unbroadcast(mul(g, mask_a), a.shape),
@@ -203,9 +244,9 @@ def maximum(a, b) -> Tensor:
 
 def minimum(a, b) -> Tensor:
     a, b = astensor(a), astensor(b)
-    take_a = a.data <= b.data
-    mask_a = Tensor(take_a.astype(np.float64))
-    mask_b = Tensor((~take_a).astype(np.float64))
+    mask_a_arr, mask_b_arr = _le_masks(a.data, b.data)
+    mask_a = Tensor(mask_a_arr)
+    mask_b = Tensor(mask_b_arr)
 
     def vjp(g):
         return (_unbroadcast(mul(g, mask_a), a.shape),

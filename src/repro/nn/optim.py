@@ -181,18 +181,43 @@ class Adam(Optimizer):
         self._m = self._check_moment_list("m", state["m"])
         self._v = self._check_moment_list("v", state["v"])
 
+    def _scratch_for(self, index: int, shape) -> np.ndarray:
+        # Lazy per-parameter scratch so step() runs allocation-free after
+        # the first call (scratch is workspace, never pickled state).
+        scratch = self.__dict__.setdefault("_scratch", {})
+        buf = scratch.get(index)
+        if buf is None or buf.shape != shape:
+            buf = scratch[index] = np.empty(shape)
+        return buf
+
     def step(self, grads) -> None:
         if len(grads) != len(self.params):
             raise ValueError("gradient list length mismatch")
         self._t += 1
         b1t = 1.0 - self.beta1 ** self._t
         b2t = 1.0 - self.beta2 ** self._t
-        for p, m, v, g in zip(self.params, self._m, self._v, grads):
+        # Buffered but bit-identical to the expression form
+        #   m = b1*m + (1-b1)*g;  v = b2*v + ((1-b2)*g)*g
+        #   p -= lr * (m / b1t) / (sqrt(v / b2t) + eps)
+        # every ufunc below preserves that operand order/association.
+        for idx, (p, m, v, g) in enumerate(zip(self.params, self._m,
+                                               self._v, grads)):
             g = self._as_array(g)
             if g is None:
                 continue
+            buf = self._scratch_for(idx, p.data.shape)
+            step_buf = self._scratch_for(-idx - 1, p.data.shape)
             m *= self.beta1
-            m += (1.0 - self.beta1) * g
+            np.multiply(1.0 - self.beta1, g, out=buf)
+            m += buf
             v *= self.beta2
-            v += (1.0 - self.beta2) * g * g
-            p.data -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+            np.multiply(1.0 - self.beta2, g, out=buf)
+            np.multiply(buf, g, out=buf)
+            v += buf
+            np.divide(m, b1t, out=step_buf)
+            np.multiply(self.lr, step_buf, out=step_buf)
+            np.divide(v, b2t, out=buf)
+            np.sqrt(buf, out=buf)
+            np.add(buf, self.eps, out=buf)
+            np.divide(step_buf, buf, out=step_buf)
+            p.data -= step_buf

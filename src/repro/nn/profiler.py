@@ -6,6 +6,12 @@ when profiling is active.  Timings are *inclusive*: an op that calls other
 ops inside its VJP (or its own implementation, e.g. ``mean`` -> ``sum``)
 accumulates their time too, so the table reads like a flat flame graph.
 
+Besides call counts and seconds, each op records how many *fresh result
+arrays* it allocated (views -- reshape, transpose, basic slicing -- count
+zero).  The compiled-plan replay path (:mod:`repro.nn.plan`) reports its
+per-step allocation counts through the same channel, so eager-vs-compiled
+allocation behaviour is directly comparable in one table.
+
 Typical use::
 
     from repro.nn import profiler
@@ -24,54 +30,85 @@ import contextlib
 import functools
 import time
 
-__all__ = ["OpProfiler", "PROFILER", "profile", "profiled"]
+__all__ = ["OpProfiler", "PROFILER", "profile", "profiled", "count_allocs"]
+
+
+def count_allocs(result) -> int:
+    """Number of freshly allocated arrays in an op result.
+
+    An array *owns* its buffer when ``base is None``; views (reshape,
+    transpose, basic slicing) share their parent's buffer and count zero.
+    Walks one level of tuple/list nesting (``lstm_cell`` returns a pair).
+    """
+    try:
+        import numpy as np
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        return 0
+    if isinstance(result, (tuple, list)):
+        return sum(count_allocs(item) for item in result)
+    data = getattr(result, "data", result)
+    if isinstance(data, np.ndarray):
+        return 1 if data.base is None else 0
+    return 0
 
 
 class OpProfiler:
-    """Accumulates per-op call counts and cumulative wall-clock seconds."""
+    """Accumulates per-op call counts, wall-clock seconds and allocations."""
 
-    __slots__ = ("active", "_calls", "_seconds")
+    __slots__ = ("active", "_calls", "_seconds", "_allocs")
 
     def __init__(self):
         self.active = False
         self._calls: dict[str, int] = {}
         self._seconds: dict[str, float] = {}
+        self._allocs: dict[str, int] = {}
 
     def reset(self) -> None:
         self._calls.clear()
         self._seconds.clear()
+        self._allocs.clear()
 
-    def record(self, name: str, seconds: float) -> None:
-        """Add one call of ``name`` taking ``seconds`` (inclusive)."""
+    def record(self, name: str, seconds: float, allocs: int = 0) -> None:
+        """Add one call of ``name`` taking ``seconds`` (inclusive) that
+        allocated ``allocs`` fresh result arrays."""
         self._calls[name] = self._calls.get(name, 0) + 1
         self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._allocs[name] = self._allocs.get(name, 0) + allocs
 
     # -- reporting -----------------------------------------------------------
     def stats(self) -> dict[str, dict[str, float]]:
-        """Per-op ``{"calls": n, "seconds": s}``, sorted by seconds desc."""
+        """Per-op ``{"calls": n, "seconds": s, "allocs": a}``, sorted by
+        seconds desc; seconds ties break by op name so reports are
+        deterministic regardless of op execution (insertion) order."""
         return {
             name: {"calls": self._calls[name],
-                   "seconds": self._seconds[name]}
+                   "seconds": self._seconds[name],
+                   "allocs": self._allocs.get(name, 0)}
             for name in sorted(self._seconds,
-                               key=self._seconds.get, reverse=True)
+                               key=lambda n: (-self._seconds[n], n))
         }
 
     def total_calls(self) -> int:
         return sum(self._calls.values())
 
+    def total_allocs(self) -> int:
+        """Total fresh result arrays allocated across all recorded ops."""
+        return sum(self._allocs.values())
+
     def publish(self, emit) -> int:
         """Attach the profile to an event log via ``emit(kind, payload,
         volatile=...)`` (e.g. :func:`repro.observability.emit`).
 
-        Call *counts* are deterministic for a fixed config+seed, so they
-        form the event payload; wall-clock seconds are run-dependent and
-        travel in the volatile side-channel.  Ops are emitted in name
-        order so the event stream is reproducible.  Returns the number of
-        events emitted.
+        Call and allocation *counts* are deterministic for a fixed
+        config+seed, so they form the event payload; wall-clock seconds
+        are run-dependent and travel in the volatile side-channel.  Ops
+        are emitted in name order so the event stream is reproducible.
+        Returns the number of events emitted.
         """
         emitted = 0
         for name in sorted(self._calls):
-            emit("profile.op", {"op": name, "calls": self._calls[name]},
+            emit("profile.op", {"op": name, "calls": self._calls[name],
+                                "allocs": self._allocs.get(name, 0)},
                  volatile={"seconds": self._seconds[name]})
             emitted += 1
         return emitted
@@ -84,10 +121,12 @@ class OpProfiler:
         if not rows:
             return "(no ops recorded)"
         name_w = max(len(name) for name, _ in rows)
-        lines = [f"{'op'.ljust(name_w)}  {'calls':>9}  {'seconds':>10}"]
+        lines = [f"{'op'.ljust(name_w)}  {'calls':>9}  {'seconds':>10}  "
+                 f"{'allocs':>9}"]
         for name, entry in rows:
             lines.append(f"{name.ljust(name_w)}  {entry['calls']:>9d}  "
-                         f"{entry['seconds']:>10.4f}")
+                         f"{entry['seconds']:>10.4f}  "
+                         f"{entry['allocs']:>9d}")
         return "\n".join(lines)
 
 
@@ -117,8 +156,12 @@ def profiled(fn, name: str | None = None):
             return fn(*args, **kwargs)
         started = time.perf_counter()
         try:
-            return fn(*args, **kwargs)
-        finally:
+            result = fn(*args, **kwargs)
+        except BaseException:
             PROFILER.record(op_name, time.perf_counter() - started)
+            raise
+        PROFILER.record(op_name, time.perf_counter() - started,
+                        count_allocs(result))
+        return result
 
     return wrapper

@@ -85,6 +85,8 @@ class SweepCache:
         return os.path.join(self.root, f"{key}.pkl")
 
     def __contains__(self, key: str) -> bool:
+        # Only a completed entry counts: an orphaned ``<key>.pkl.tmp``
+        # left by a crash mid-``put`` is not a hit.
         return os.path.exists(self._path(key))
 
     def get(self, key: str):
@@ -118,10 +120,23 @@ class SweepCache:
         os.replace(tmp, path)
 
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every entry; returns the number removed.
+
+        Also sweeps orphaned ``*.pkl.tmp`` files left behind by a crash
+        between ``put()``'s write and its atomic ``os.replace`` -- they
+        would otherwise leak forever (they are never read, and ``put``
+        always writes its own fresh temp file).  Orphans do not count
+        toward the returned number of removed *entries*.
+        """
         removed = 0
         for name in os.listdir(self.root):
+            path = os.path.join(self.root, name)
             if name.endswith(".pkl"):
-                os.remove(os.path.join(self.root, name))
+                os.remove(path)
                 removed += 1
+            elif name.endswith(".pkl.tmp"):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
         return removed

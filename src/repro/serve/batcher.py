@@ -238,10 +238,15 @@ class MicroBatcher:
             # max_wait_ms from the oldest block's admission) to let
             # concurrent requests coalesce into the same wake-up.
             if self.max_wait_ms > 0 and not self._closed:
-                deadline = (self._queue[0].pending.enqueued
-                            + self.max_wait_ms / 1000.0)
                 while (self._queued_rows < self.max_batch_rows
                        and not self._closed):
+                    # Re-derive the deadline from the *current* queue head
+                    # every iteration: a spurious wakeup (or any notify
+                    # that does not fill the bundle) must not reset the
+                    # clock, and the head block's admission time bounds
+                    # how long any queued request can be held.
+                    deadline = (self._queue[0].pending.enqueued
+                                + self.max_wait_ms / 1000.0)
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         break

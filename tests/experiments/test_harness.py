@@ -184,3 +184,35 @@ class TestSweepIsolation:
         assert get_failures()
         clear_cache()
         assert get_failures() == []
+
+
+class TestElapsedTiming:
+    def test_failure_elapsed_non_negative_under_clock_step(self,
+                                                           monkeypatch):
+        """Harness timing uses the monotonic clock: an NTP-style wall
+        clock step backwards mid-training must not record a negative
+        elapsed time in the failure record."""
+        import itertools
+        import time
+        import types
+        from unittest import mock
+
+        import repro.experiments.harness as harness
+        from repro.baselines import HMMBaseline
+        from repro.experiments import get_failures
+
+        ticks = itertools.count(100.0, 0.5)         # well-behaved
+        wall = itertools.count(5000.0, -60.0)       # steps backwards
+        fake = types.SimpleNamespace(
+            monotonic=lambda: next(ticks),
+            time=lambda: next(wall),
+            sleep=time.sleep, perf_counter=time.perf_counter)
+        monkeypatch.setattr(harness, "time", fake)
+        monkeypatch.setattr(HMMBaseline, "fit",
+                            mock.Mock(side_effect=RuntimeError("boom")))
+        with pytest.raises(RuntimeError, match="boom"):
+            get_model("gcut", "hmm", TINY, cache_tag="clockstep")
+        record = get_failures()[-1]
+        assert record.elapsed >= 0, (
+            f"elapsed went negative ({record.elapsed}); harness timing "
+            f"must not depend on the wall clock")

@@ -46,7 +46,7 @@ class TestOpProfiler:
             prof.record("slow_op", 2.0)
             prof.record("fast_op", 0.5)
         lines = prof.summary().splitlines()
-        assert lines[0].split() == ["op", "calls", "seconds"]
+        assert lines[0].split() == ["op", "calls", "seconds", "allocs"]
         assert lines[1].startswith("slow_op")
         assert lines[2].startswith("fast_op")
         assert prof.summary(top=1).count("\n") == 1
@@ -61,3 +61,25 @@ class TestOpProfiler:
             model.encoder.transform(tiny_gcut), iterations=2, profile=True)
         assert history.op_profile
         assert "lstm_sequence" in history.op_profile
+
+
+class TestStatsOrdering:
+    def test_seconds_ties_break_by_op_name(self):
+        """Equal-seconds ops sort alphabetically, so reports are stable
+        regardless of recording (insertion) order."""
+        from repro.nn.profiler import OpProfiler
+        prof = OpProfiler()
+        prof.record("tanh", 0.5)
+        prof.record("add", 0.5)
+        prof.record("matmul", 0.5)
+        prof.record("exp", 1.0)
+        assert list(prof.stats()) == ["exp", "add", "matmul", "tanh"]
+
+    def test_reversed_insertion_gives_same_order(self):
+        from repro.nn.profiler import OpProfiler
+        a, b = OpProfiler(), OpProfiler()
+        for name in ("add", "mul", "sum"):
+            a.record(name, 0.25)
+        for name in ("sum", "mul", "add"):
+            b.record(name, 0.25)
+        assert list(a.stats()) == list(b.stats())

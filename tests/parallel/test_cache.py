@@ -73,3 +73,26 @@ class TestSweepCache:
             cache.put(cell_cache_key("dg", "a", "b", seed), seed)
         assert cache.clear() == 3
         assert cache.get(cell_cache_key("dg", "a", "b", 0)) is None
+
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path):
+        """A crash between put()'s write and its atomic rename leaves a
+        ``*.pkl.tmp`` orphan; clear() must remove it (it is never read
+        and would otherwise leak forever) without counting it as an
+        entry."""
+        import os
+        cache = SweepCache(tmp_path / "cache")
+        cache.put(cell_cache_key("dg", "a", "b", 0), [1])
+        orphan = cache._path(cell_cache_key("dg", "a", "b", 1)) + ".tmp"
+        with open(orphan, "wb") as handle:
+            handle.write(b"partial write from a crashed put")
+        assert cache.clear() == 1           # orphans are not entries
+        assert not os.path.exists(orphan)
+        assert os.listdir(cache.root) == []
+
+    def test_orphaned_tmp_is_not_a_hit(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        key = cell_cache_key("dg", "a", "b", 2)
+        with open(cache._path(key) + ".tmp", "wb") as handle:
+            handle.write(b"partial")
+        assert key not in cache
+        assert cache.get(key) is None

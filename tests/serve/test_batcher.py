@@ -188,3 +188,57 @@ class TestMetrics:
         assert dump["counters"]["serve.batches"] >= 1
         assert dump["histograms"]["serve.latency_seconds"]["count"] == 2
         assert dump["gauges"]["serve.queue_rows"] == 0
+
+
+class TestFlushDeadline:
+    """The partial-bundle flush deadline is anchored to the oldest queued
+    block's admission time and re-derived on every wait iteration."""
+
+    @pytest.fixture
+    def idle_batcher(self, monkeypatch, trained_dg_gcut):
+        # Disable the worker thread so the test can drive _take_bundle
+        # itself with full control over timing.
+        monkeypatch.setattr(MicroBatcher, "_run", lambda self: None)
+        batcher = MicroBatcher(trained_dg_gcut, max_wait_ms=200.0)
+        yield batcher
+        batcher.close(drain=False)
+
+    def test_expired_deadline_flushes_immediately(self, idle_batcher):
+        """A block that already waited past max_wait (e.g. while the
+        worker executed a long bundle) must not be held for another full
+        max_wait once the worker returns to the queue."""
+        import time as _time
+        idle_batcher.submit(4, seed=1)          # partial: 4 < 16 rows
+        _time.sleep(0.35)                       # > max_wait_ms = 200
+        started = _time.monotonic()
+        bundle = idle_batcher._take_bundle()
+        elapsed = _time.monotonic() - started
+        assert bundle.rows == 4
+        assert elapsed < 0.15, (
+            f"stale partial bundle held {elapsed:.3f}s after its deadline")
+
+    def test_spurious_wakeups_do_not_extend_deadline(self, idle_batcher):
+        """Notifies that do not fill the bundle must not reset the flush
+        clock; the head block bounds the total hold time."""
+        import time as _time
+        idle_batcher.submit(4, seed=1)
+        stop = threading.Event()
+
+        def pester():
+            while not stop.is_set():
+                with idle_batcher._lock:
+                    idle_batcher._work.notify()
+                _time.sleep(0.04)
+
+        thread = threading.Thread(target=pester)
+        thread.start()
+        try:
+            started = _time.monotonic()
+            bundle = idle_batcher._take_bundle()
+            elapsed = _time.monotonic() - started
+        finally:
+            stop.set()
+            thread.join()
+        assert bundle.rows == 4
+        assert elapsed < 1.5, (
+            f"flush starved for {elapsed:.3f}s by spurious wakeups")
