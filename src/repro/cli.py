@@ -240,6 +240,21 @@ def build_parser() -> argparse.ArgumentParser:
                           "(alternative to SIGINT)")
     srv.add_argument("--telemetry", default=None, metavar="DIR",
                      help="collect serving metrics into DIR on exit")
+    srv.add_argument("--replicas", type=int, default=0,
+                     help="serve through a fleet of N supervised "
+                          "replica processes instead of in-process "
+                          "batchers (deterministic routing, "
+                          "byte-identical output; docs/serving.md)")
+    srv.add_argument("--model-cache", type=int, default=4,
+                     help="models each replica holds hot in its LRU "
+                          "cache (fleet mode)")
+    srv.add_argument("--quota-rps", type=float, default=None,
+                     help="per-client token-bucket rate limit in "
+                          "requests/second (fleet mode; default: no "
+                          "quotas)")
+    srv.add_argument("--quota-burst", type=int, default=None,
+                     help="token-bucket depth (fleet mode; default: "
+                          "--quota-rps rounded down, at least 1)")
     srv.add_argument("--jobs-dir", default=None, metavar="DIR",
                      help="enable training-as-a-service: durable job "
                           "records live here; finished models are "
@@ -284,6 +299,17 @@ def build_parser() -> argparse.ArgumentParser:
     jobs.add_argument("--watch", action="store_true",
                       help="poll status until the job reaches a "
                            "terminal state (submit/status)")
+
+    fst = sub.add_parser("fleet-status",
+                         help="inspect a running fleet router: replica "
+                              "health, routing totals, aliases, quotas")
+    fst.add_argument("--host", default="127.0.0.1")
+    fst.add_argument("--port", type=int, required=True)
+    fst.add_argument("--timeout", type=float, default=10.0)
+    fst.add_argument("--reload", action="store_true",
+                     help="re-pin name/@latest aliases to the newest "
+                          "registry versions first (zero-downtime "
+                          "upgrade flip)")
 
     bsrv = sub.add_parser("bench-serve",
                           help="benchmark micro-batched vs batch-size-1 "
@@ -600,19 +626,46 @@ def _cmd_jobs(args) -> int:
 def _cmd_serve(args) -> int:
     import time
 
-    from repro.serve import GenerationService, ModelRegistry, Server
+    from repro.serve import (Fleet, GenerationService, ModelRegistry,
+                             Server)
     from repro.serve.registry import RegistryError
 
-    try:
-        registry = ModelRegistry(args.registry)
-        service = GenerationService.from_registry(
-            registry, specs=args.models or None,
-            allow_empty=bool(args.jobs_dir),
-            max_batch_rows=args.batch_rows,
-            max_wait_ms=args.batch_wait_ms,
-            max_queue_rows=args.queue_rows)
-    except RegistryError as exc:
-        raise _CliError(str(exc)) from None
+    if args.replicas and args.replicas > 0:
+        if args.jobs_dir:
+            raise _CliError(
+                "--replicas and --jobs-dir are mutually exclusive: the "
+                "fleet router does not orchestrate training jobs; run "
+                "a separate single server with --jobs-dir")
+        if args.models:
+            raise _CliError(
+                "--replicas serves the whole registry (replicas "
+                "lazy-load any published name@version); drop --models")
+        try:
+            registry = ModelRegistry(args.registry)
+            service = Fleet(registry, replicas=args.replicas,
+                            model_cache=args.model_cache,
+                            quota_rps=args.quota_rps,
+                            quota_burst=args.quota_burst,
+                            max_batch_rows=args.batch_rows,
+                            max_wait_ms=args.batch_wait_ms,
+                            max_queue_rows=args.queue_rows)
+        except RegistryError as exc:
+            raise _CliError(str(exc)) from None
+        print(f"fleet of {args.replicas} replicas "
+              f"(model cache: {args.model_cache}/replica"
+              + (f", quota: {args.quota_rps:g} req/s per client"
+                 if args.quota_rps else "") + ")")
+    else:
+        try:
+            registry = ModelRegistry(args.registry)
+            service = GenerationService.from_registry(
+                registry, specs=args.models or None,
+                allow_empty=bool(args.jobs_dir),
+                max_batch_rows=args.batch_rows,
+                max_wait_ms=args.batch_wait_ms,
+                max_queue_rows=args.queue_rows)
+        except RegistryError as exc:
+            raise _CliError(str(exc)) from None
 
     supervisor = None
     if args.jobs_dir:
@@ -642,7 +695,7 @@ def _cmd_serve(args) -> int:
     server = Server(service, host=args.host, port=args.port)
     host, port = server.address
     for row in service.describe():
-        tag = "" if row["deterministic"] else \
+        tag = "" if row.get("deterministic", True) else \
             "  [non-deterministic batch-rows override]"
         print(f"serving {row['spec']} "
               f"(aliases: {', '.join(row['aliases']) or '-'}){tag}")
@@ -672,6 +725,38 @@ def _cmd_serve(args) -> int:
         paths = telemetry.finalize()
         print(f"telemetry written to {paths['events']}")
     print("server stopped")
+    return 0
+
+
+def _cmd_fleet_status(args) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    try:
+        with ServeClient(args.host, args.port,
+                         timeout=args.timeout) as client:
+            if args.reload:
+                aliases = client.reload_models()
+                print("aliases re-pinned:")
+                for alias in sorted(aliases):
+                    print(f"  {alias} -> {aliases[alias]}")
+            status = client.fleet_status()
+    except ServeError as exc:
+        raise _CliError(str(exc)) from None
+    for row in status["replicas"]:
+        print(f"replica {row['replica']}: {row['state']}  "
+              f"pid={row['pid']} port={row['port']} "
+              f"restarts={row['restarts']} routed={row['routed']}")
+    totals = status["totals"]
+    print(f"totals: routed={totals['routed']} "
+          f"retried={totals['retried']} "
+          f"respawns={totals['respawns']} "
+          f"rate_limited={totals['rate_limited']}")
+    quota = status.get("quota")
+    print(f"quota: " + (f"{quota['rps']:g} req/s per client "
+                        f"(burst {quota['burst']})" if quota
+                        else "disabled"))
+    for alias in sorted(status["aliases"]):
+        print(f"alias {alias} -> {status['aliases'][alias]}")
     return 0
 
 
@@ -722,7 +807,8 @@ def main(argv=None) -> int:
                 "generate": _cmd_generate, "inspect": _cmd_inspect,
                 "sweep": _cmd_sweep, "metrics": _cmd_metrics,
                 "publish": _cmd_publish, "serve": _cmd_serve,
-                "jobs": _cmd_jobs, "bench-serve": _cmd_bench_serve}
+                "jobs": _cmd_jobs, "fleet-status": _cmd_fleet_status,
+                "bench-serve": _cmd_bench_serve}
     try:
         return handlers[args.command](args)
     except _CliError as exc:

@@ -25,7 +25,8 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 
-__all__ = ["ProcessPool", "effective_workers", "start_method"]
+__all__ = ["ProcessPool", "effective_workers", "start_method",
+           "mp_context"]
 
 
 def start_method() -> str:
@@ -35,6 +36,16 @@ def start_method() -> str:
         return override
     methods = multiprocessing.get_all_start_methods()
     return "fork" if "fork" in methods else "spawn"
+
+
+def mp_context():
+    """The multiprocessing context every parallel component spawns with.
+
+    Pool workers, sharded generation, and the serving fleet's replica
+    processes all come from this one context, so ``REPRO_MP_START``
+    governs the whole system and tests can monkeypatch forked children.
+    """
+    return multiprocessing.get_context(start_method())
 
 
 def effective_workers(workers: int, n_tasks: int) -> int:
@@ -65,7 +76,6 @@ class ProcessPool:
         workers = effective_workers(self.workers, len(payloads))
         if workers <= 1 or len(payloads) <= 1:
             return [fn(p) for p in payloads]
-        context = multiprocessing.get_context(start_method())
         with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as executor:
+                                 mp_context=mp_context()) as executor:
             return list(executor.map(fn, payloads))

@@ -16,12 +16,19 @@ consumers (docs/serving.md):
   recoverable training-as-a-service: durable job records, a supervisor
   that auto-resumes killed workers from their latest checkpoint, and
   auto-publish of finished models back into the registry.
+- :mod:`repro.serve.fleet` -- multi-replica serving: a router over N
+  supervised replica processes with deterministic routing, per-worker
+  LRU model caches, per-client quotas, and replica-death retry -- all
+  byte-identical to a single ``GenerationService``.
 - :mod:`repro.serve.bench` -- the BENCH_serving.json benchmark.
 """
 
 from repro.serve.batcher import BatcherClosed, MicroBatcher, QueueFull
-from repro.serve.client import (InProcessClient, LoadReport, ServeClient,
-                                ServeError, ServerBusy, run_load)
+from repro.serve.client import (InProcessClient, LoadReport, RateLimited,
+                                ServeClient, ServeError, ServerBusy,
+                                run_load)
+from repro.serve.fleet import (ClientQuotas, Fleet, ModelCache,
+                               ReplicaService, TokenBucket, route_index)
 from repro.serve.jobs import (JobError, JobRecord, JobStore,
                               JobSupervisor, UnknownJob, job_progress)
 from repro.serve.registry import (CorruptModelBlob, ModelNotFound,
@@ -35,6 +42,9 @@ __all__ = [
     "MicroBatcher", "QueueFull", "BatcherClosed",
     "GenerationService", "Server",
     "ServeClient", "InProcessClient", "ServeError", "ServerBusy",
+    "RateLimited",
+    "Fleet", "ReplicaService", "ModelCache", "TokenBucket",
+    "ClientQuotas", "route_index",
     "JobStore", "JobRecord", "JobSupervisor", "JobError", "UnknownJob",
     "job_progress",
     "LoadReport", "run_load",

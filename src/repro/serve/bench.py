@@ -46,13 +46,16 @@ DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_serving.json"
 RESULT_KEYS = frozenset({
     "model", "cpu_count", "concurrency", "requests_per_client",
     "request_n", "max_wait_ms", "batched", "unbatched",
-    "throughput_speedup", "served_identical", "note",
+    "throughput_speedup", "served_identical", "fleet", "note",
 })
 
 _MODE_KEYS = frozenset({
     "max_batch_rows", "concurrency", "requests", "ok", "shed", "errors",
     "wall_seconds", "throughput_rps", "p50_ms", "p99_ms",
 })
+
+_FLEET_ROW_KEYS = (_MODE_KEYS - {"max_batch_rows"}) | {
+    "replicas", "served_identical"}
 
 
 def _cpu_count() -> int:
@@ -98,6 +101,63 @@ def _measure_mode(model, spec: str, *, max_batch_rows: int | None,
     return summary
 
 
+def _measure_fleet(model, *, replica_counts, concurrency: int,
+                   requests_per_client: int, n: int,
+                   max_wait_ms: float) -> dict:
+    """Throughput per replica count through a real multi-process fleet.
+
+    One registry publish, then one fleet per count; each run also
+    byte-compares one served response against direct generation, so the
+    fleet rows carry the same identity evidence as the single-server
+    modes.
+    """
+    import tempfile
+
+    from repro.serve.fleet import Fleet
+    from repro.serve.registry import ModelRegistry
+
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fleet-") as root:
+        registry = ModelRegistry(root)
+        spec = registry.publish("bench", model).spec
+        seed_check = 20200902
+        direct = model.generate(n, rng=np.random.default_rng(seed_check))
+        for replicas in replica_counts:
+            fleet = Fleet(registry, replicas=replicas, model_cache=2,
+                          max_wait_ms=max_wait_ms,
+                          max_queue_rows=1 << 20)
+            try:
+                with Server(fleet) as server:
+                    host, port = server.address
+                    report = run_load(
+                        lambda: ServeClient(host, port, timeout=300),
+                        model=spec, concurrency=concurrency,
+                        requests_per_client=requests_per_client, n=n)
+                    with ServeClient(host, port, timeout=300) as client:
+                        served = client.generate(spec, n, seed_check)
+            finally:
+                fleet.close()
+            row = report.summary()
+            row["replicas"] = int(replicas)
+            row["served_identical"] = bool(
+                np.array_equal(served.attributes, direct.attributes)
+                and np.array_equal(served.features, direct.features)
+                and np.array_equal(served.lengths, direct.lengths))
+            rows.append(row)
+    return {
+        "concurrency": concurrency,
+        "requests_per_client": requests_per_client,
+        "request_n": n,
+        "per_replica_count": rows,
+        "note": ("replica processes share the host's cores, so "
+                 "throughput scales with replica count only when "
+                 "cpu_count >= replicas; on a 1-core host the fleet "
+                 "rows demonstrate identity and stability under "
+                 "concurrency, not speedup (same caveat as "
+                 "BENCH_parallel.json)"),
+    }
+
+
 def _identity_check(model, spec: str, n: int, seed: int) -> bool:
     """One served request, byte-compared against direct generation."""
     service = GenerationService({spec: model})
@@ -115,20 +175,29 @@ def run_serving_benchmark(model: DoppelGANger | None = None, *,
                           concurrency: int = 8,
                           requests_per_client: int = 8,
                           n: int = 16, max_wait_ms: float = 2.0,
+                          fleet_concurrency: int = 32,
+                          fleet_replica_counts=(1, 2, 4),
                           output: Path | str | None = DEFAULT_OUTPUT,
                           smoke: bool = False) -> dict:
     """Benchmark batched vs unbatched serving; write BENCH_serving.json.
 
-    ``smoke=True`` shrinks the load (fewer, smaller requests) for CI;
-    the schema and the identity check are exercised identically.
-    ``output=None`` skips writing.
+    The result always carries a ``fleet`` section: multi-replica rows
+    measured at ``fleet_concurrency`` (>= 32 by default, per the
+    scaling acceptance bar) for each count in ``fleet_replica_counts``.
+    ``smoke=True`` shrinks the load (fewer, smaller requests, fewer
+    replica counts) for CI; schema and identity checks are exercised
+    identically.  ``output=None`` skips writing.
     """
     if concurrency < 1 or requests_per_client < 1 or n < 1:
         raise ValueError("concurrency, requests_per_client, n must be "
                          ">= 1")
+    fleet_requests = requests_per_client
     if smoke:
         requests_per_client = min(requests_per_client, 2)
         n = min(n, 8)
+        fleet_concurrency = min(fleet_concurrency, 8)
+        fleet_requests = 1
+        fleet_replica_counts = tuple(fleet_replica_counts)[:2]
     if model is None:
         model = train_tiny_model()
     spec = "bench@1"
@@ -142,6 +211,10 @@ def run_serving_benchmark(model: DoppelGANger | None = None, *,
         concurrency=concurrency, requests_per_client=requests_per_client,
         n=n)
     identical = _identity_check(model, spec, n, seed=20200901)
+    fleet = _measure_fleet(model, replica_counts=fleet_replica_counts,
+                           concurrency=fleet_concurrency,
+                           requests_per_client=fleet_requests, n=n,
+                           max_wait_ms=max_wait_ms)
 
     speedup = (batched["throughput_rps"] / unbatched["throughput_rps"]
                if unbatched["throughput_rps"] else float("inf"))
@@ -157,6 +230,7 @@ def run_serving_benchmark(model: DoppelGANger | None = None, *,
         "unbatched": unbatched,
         "throughput_speedup": speedup,
         "served_identical": identical,
+        "fleet": fleet,
         "note": ("unbatched = max_batch_rows=1 (every sample its own "
                  "model pass, i.e. batch-size-1 per-request serving); "
                  "the >=2x target comes from the batch dimension of the "
@@ -174,6 +248,11 @@ def run_serving_benchmark(model: DoppelGANger | None = None, *,
           f"{unbatched['throughput_rps']:.1f} req/s  "
           f"(p50 {unbatched['p50_ms']:.1f}ms, "
           f"p99 {unbatched['p99_ms']:.1f}ms)")
+    for row in fleet["per_replica_count"]:
+        print(f"[bench_serving] fleet x{row['replicas']}: "
+              f"{row['throughput_rps']:.1f} req/s at concurrency "
+              f"{fleet['concurrency']}  (p50 {row['p50_ms']:.1f}ms, "
+              f"identical={row['served_identical']})")
     print(f"[bench_serving] speedup {speedup:.2f}x, "
           f"served_identical={identical}"
           + (f" -> {output}" if output is not None else ""))
@@ -204,6 +283,19 @@ def check_result_schema(result: dict,
         if mode_missing:
             problems.append(f"{mode!r} misses keys: "
                             f"{sorted(mode_missing)}")
+    fleet = result.get("fleet")
+    if not isinstance(fleet, dict) \
+            or not isinstance(fleet.get("per_replica_count"), list) \
+            or not fleet["per_replica_count"]:
+        problems.append("'fleet' must be an object with a non-empty "
+                        "per_replica_count list")
+    else:
+        for row in fleet["per_replica_count"]:
+            row_missing = _FLEET_ROW_KEYS - set(row)
+            if row_missing:
+                problems.append(
+                    f"fleet row (replicas={row.get('replicas')}) misses "
+                    f"keys: {sorted(row_missing)}")
     if reference is not None:
         try:
             committed = json.loads(Path(reference).read_text())

@@ -36,8 +36,8 @@ from repro.data.dataset import TimeSeriesDataset
 from repro.resilience.retry import RetryPolicy, retry_call
 from repro.serve import protocol
 
-__all__ = ["ServeError", "ServerBusy", "ServeClient", "InProcessClient",
-           "LoadReport", "run_load"]
+__all__ = ["ServeError", "ServerBusy", "RateLimited", "ServeClient",
+           "InProcessClient", "LoadReport", "run_load"]
 
 
 class ServeError(RuntimeError):
@@ -52,6 +52,10 @@ class ServerBusy(ServeError):
     """The admission queue was full and the request was shed."""
 
 
+class RateLimited(ServeError):
+    """The fleet router shed the request: client quota exhausted."""
+
+
 def _result_dataset(header: dict, payload: bytes) -> TimeSeriesDataset:
     status = header.get("status")
     if status == "ok":
@@ -64,6 +68,8 @@ def _raise_error(header: dict):
     message = header.get("error", "unknown server error")
     if code == protocol.ERR_BUSY:
         raise ServerBusy(code, message)
+    if code == protocol.ERR_RATE_LIMITED:
+        raise RateLimited(code, message)
     raise ServeError(code, message)
 
 
@@ -101,12 +107,37 @@ class _ClientOps:
     def models(self) -> list[dict]:
         return self._ok(self._call({"op": "models"})[0])["models"]
 
-    def generate(self, model: str, n: int, seed: int = 0
-                 ) -> TimeSeriesDataset:
-        """Request ``n`` objects from ``model``; deterministic in seed."""
-        header, payload = self._call({"op": "generate", "model": model,
-                                      "n": int(n), "seed": int(seed)})
+    def generate(self, model: str, n: int, seed: int = 0,
+                 client: str | None = None) -> TimeSeriesDataset:
+        """Request ``n`` objects from ``model``; deterministic in seed.
+
+        ``client`` is the quota identity a fleet router bills the
+        request to (ignored by single servers; unset shares the
+        ``anonymous`` bucket).
+        """
+        header = {"op": "generate", "model": model,
+                  "n": int(n), "seed": int(seed)}
+        if client is not None:
+            header["client"] = str(client)
+        header, payload = self._call(header)
         return _result_dataset(header, payload)
+
+    # -- fleet ---------------------------------------------------------------
+    def stats(self) -> dict:
+        """Server-side counters: cache/metrics on a single server, the
+        fleet digest on a router (both under the returned dict)."""
+        header = self._ok(self._call({"op": "stats"})[0])
+        return {key: value for key, value in header.items()
+                if key != "status"}
+
+    def fleet_status(self) -> dict:
+        """Replica health, routing totals, aliases, quota config."""
+        return self._ok(self._call({"op": "fleet_status"})[0])["fleet"]
+
+    def reload_models(self) -> dict:
+        """Ask a fleet router to re-pin ``@latest`` aliases; returns the
+        new alias map (the zero-downtime upgrade flip)."""
+        return self._ok(self._call({"op": "reload"})[0])["aliases"]
 
     # -- training jobs -------------------------------------------------------
     def submit_job(self, name: str, dataset, *,

@@ -23,6 +23,8 @@ clients surface the error.  Error *responses* are well-formed frames with
 - ``model_not_found`` -- unknown model spec.
 - ``job_not_found`` -- unknown job id (``status``/``cancel``).
 - ``jobs_disabled`` -- the server was started without a job store.
+- ``rate_limited`` -- the client's token bucket is empty; the fleet
+  router shed the request before routing it (quota, not capacity).
 - ``bad_request`` -- malformed op/arguments.
 - ``internal`` -- unexpected server-side failure.
 
@@ -48,7 +50,8 @@ __all__ = ["MAGIC", "VERSION", "MAX_HEADER_BYTES", "MAX_PAYLOAD_BYTES",
            "dataset_to_bytes", "dataset_from_bytes",
            "ERR_BUSY", "ERR_SHUTTING_DOWN", "ERR_MODEL_NOT_FOUND",
            "ERR_BAD_REQUEST", "ERR_INTERNAL", "ERR_JOB_NOT_FOUND",
-           "ERR_JOBS_DISABLED", "ERR_TIMEOUT", "ERR_CONNECTION"]
+           "ERR_JOBS_DISABLED", "ERR_RATE_LIMITED", "ERR_TIMEOUT",
+           "ERR_CONNECTION"]
 
 MAGIC = b"RSRV"
 VERSION = 1
@@ -62,6 +65,7 @@ ERR_SHUTTING_DOWN = "shutting_down"
 ERR_MODEL_NOT_FOUND = "model_not_found"
 ERR_JOB_NOT_FOUND = "job_not_found"
 ERR_JOBS_DISABLED = "jobs_disabled"
+ERR_RATE_LIMITED = "rate_limited"
 ERR_BAD_REQUEST = "bad_request"
 ERR_INTERNAL = "internal"
 

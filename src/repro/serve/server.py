@@ -32,7 +32,8 @@ import threading
 from repro.observability import metrics as obs_metrics
 from repro.serve import protocol
 from repro.serve.batcher import BatcherClosed, MicroBatcher, QueueFull
-from repro.serve.registry import ModelNotFound, ModelRegistry
+from repro.serve.registry import (ModelNotFound, ModelRegistry,
+                                  RegistryError)
 
 __all__ = ["GenerationService", "Server", "DEFAULT_MAX_REQUEST_N"]
 
@@ -164,6 +165,15 @@ class GenerationService:
                 f"(serving: {sorted(self.batchers)})")
         return batcher
 
+    def cache_stats(self) -> dict | None:
+        """Model-cache counters for the ``stats`` op.
+
+        The base service holds every model pinned, so there is no cache;
+        :class:`repro.serve.fleet.ReplicaService` overrides this with
+        its LRU hit/miss/eviction counts.
+        """
+        return None
+
     def describe(self) -> list[dict]:
         """One row per served model, for the ``models`` op."""
         rows = []
@@ -191,13 +201,21 @@ class GenerationService:
             return {"status": "ok"}, b""
         if op == "models":
             return {"status": "ok", "models": self.describe()}, b""
+        if op == "stats":
+            info = {"status": "ok", "models": self.describe()}
+            cache = self.cache_stats()
+            if cache is not None:
+                info["cache"] = cache
+            if obs_metrics.enabled():
+                info["metrics"] = obs_metrics.current().dump()
+            return info, b""
         if op in ("submit", "status", "cancel", "jobs"):
             return self._handle_job_op(op, header, payload)
         if op != "generate":
             return self._error(protocol.ERR_BAD_REQUEST,
                                f"unknown op {op!r} (expected ping, "
-                               f"models, generate, submit, status, "
-                               f"cancel, or jobs)")
+                               f"models, generate, stats, submit, "
+                               f"status, cancel, or jobs)")
 
         spec = header.get("model")
         n, seed = header.get("n"), header.get("seed", 0)
@@ -212,16 +230,33 @@ class GenerationService:
         if not isinstance(seed, int) or isinstance(seed, bool):
             return self._error(protocol.ERR_BAD_REQUEST,
                                f"seed must be an integer, got {seed!r}")
-        try:
-            batcher = self.lookup(spec)
-        except ModelNotFound as exc:
-            return self._error(protocol.ERR_MODEL_NOT_FOUND, str(exc))
-        try:
-            future = batcher.submit(n, seed)
-        except QueueFull as exc:
-            return self._error(protocol.ERR_BUSY, str(exc))
-        except BatcherClosed as exc:
-            return self._error(protocol.ERR_SHUTTING_DOWN, str(exc))
+        # lookup + submit retries: a lazily-loading service (the fleet's
+        # ReplicaService) may evict-and-close the looked-up batcher from
+        # another thread between lookup and submit; re-looking-up
+        # reloads the model.  The base service never evicts, so the
+        # loop runs once.
+        future = None
+        for _ in range(3):
+            try:
+                batcher = self.lookup(spec)
+            except ModelNotFound as exc:
+                return self._error(protocol.ERR_MODEL_NOT_FOUND, str(exc))
+            except RegistryError as exc:
+                return self._error(protocol.ERR_INTERNAL,
+                                   f"model load failed: {exc}")
+            try:
+                future = batcher.submit(n, seed)
+                break
+            except QueueFull as exc:
+                return self._error(protocol.ERR_BUSY, str(exc))
+            except BatcherClosed as exc:
+                if self._closed:
+                    return self._error(protocol.ERR_SHUTTING_DOWN,
+                                       str(exc))
+        if future is None:
+            return self._error(protocol.ERR_INTERNAL,
+                               f"model {spec!r} kept closing during "
+                               f"admission (eviction thrash)")
         try:
             dataset = future.result()
         except BatcherClosed as exc:
