@@ -1,0 +1,113 @@
+"""Quality-report cost profile: wall time per report section.
+
+A scored report runs nine property sections of very different cost
+(downstream TSTR dominates: it trains eight predictors twice).  This
+benchmark times each section via the report's volatile ``timings`` side
+channel at bench scale, reports the split with and without the
+downstream property, and writes ``BENCH_quality.json`` so regressions
+in any one section are visible in review.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_quality.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+sys.path.insert(0, os.path.abspath(SRC))
+
+from repro.data.simulators import generate_gcut  # noqa: E402
+from repro.quality import (MemorizingBaseline, QualityReport,  # noqa: E402
+                           privacy_battery)
+
+
+def _timed_report(real, synthetic, holdout, **kwargs):
+    start = time.perf_counter()
+    report = QualityReport(real, synthetic, holdout=holdout, **kwargs)
+    return report, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="minimal sizes for CI")
+    parser.add_argument("--output", default="BENCH_quality.json")
+    args = parser.parse_args(argv)
+
+    n = 60 if args.smoke else 300
+    length = 12 if args.smoke else 24
+    mlp_iterations = 20 if args.smoke else 150
+    rng = np.random.default_rng(7)
+    real = generate_gcut(n, rng, max_length=length)
+    synthetic = generate_gcut(n, rng, max_length=length)
+    holdout = generate_gcut(n // 2, rng, max_length=length)
+
+    report, full_seconds = _timed_report(
+        real, synthetic, holdout, seed=0, downstream=True,
+        mlp_iterations=mlp_iterations)
+    _, cheap_seconds = _timed_report(
+        real, synthetic, holdout, seed=0, downstream=False)
+
+    start = time.perf_counter()
+    members = real[np.arange(0, n // 2)]
+    non_members = real[np.arange(n // 2, 2 * (n // 2))]
+    privacy_battery(MemorizingBaseline(members), members, non_members,
+                    n_generated=n, seed=0)
+    battery_seconds = time.perf_counter() - start
+
+    sections = {name: seconds for name, seconds
+                in sorted(report.timings.items())}
+    dominant = max(sections, key=sections.get)
+
+    result = {
+        "n_objects": n,
+        "max_length": length,
+        "mlp_iterations": mlp_iterations,
+        "report_seconds_full": full_seconds,
+        "report_seconds_no_downstream": cheap_seconds,
+        "privacy_battery_seconds": battery_seconds,
+        "section_seconds": sections,
+        "dominant_section": dominant,
+        "overall_score": report.overall,
+        "note": "timings come from QualityReport.timings (volatile side "
+                "channel, never part of the canonical exports); the "
+                "downstream section dominates because it fits every "
+                "default predictor on synthetic and real data",
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"full report: {full_seconds * 1e3:.0f} ms  "
+          f"(no downstream: {cheap_seconds * 1e3:.0f} ms, "
+          f"privacy battery: {battery_seconds * 1e3:.0f} ms)")
+    for name, seconds in sections.items():
+        print(f"  {name:<26} {seconds * 1e3:8.1f} ms")
+    print(f"wrote {args.output}")
+
+    # Shape assertions, not absolute numbers: the sections must all have
+    # run, and dropping the downstream property must actually be cheaper.
+    if set(sections) != {
+            "feature_marginals", "attribute_marginals", "autocorrelation",
+            "lengths", "attribute_feature_joints", "cross_correlation",
+            "diversity", "memorization", "downstream"}:
+        print("FAIL: unexpected section set", file=sys.stderr)
+        return 1
+    if cheap_seconds >= full_seconds:
+        print("FAIL: disabling the downstream property did not reduce "
+              "report time", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,10 @@ without writing code:
     # inspect a dataset
     python -m repro.cli inspect --data synth.npz
 
+    # scored quality report + privacy attack battery (docs/quality.md)
+    python -m repro.cli report --data data.npz --model model.npz \
+        --privacy --json report.json --md report.md
+
     # benchmark sweep (optionally process-parallel; --workers never
     # changes the result, see docs/architecture.md "Parallel execution")
     python -m repro.cli sweep --datasets gcut --models hmm ar \
@@ -192,6 +196,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="collect per-cell event logs and metric dumps "
                             "into DIR, merged into worker-count-invariant "
                             "canonical exports")
+    sweep.add_argument("--quality", action="store_true",
+                       help="score every trained cell with a quality "
+                            "report; the sweep report ranks cells by "
+                            "overall score (docs/quality.md)")
+    sweep.add_argument("--quality-n", type=int, default=64,
+                       help="synthetic objects generated per cell for "
+                            "the quality scores")
+
+    rep = sub.add_parser("report", help="scored quality report for a "
+                                        "model vs a real dataset "
+                                        "(docs/quality.md)")
+    rep.add_argument("--data", required=True,
+                     help="real dataset the model should match "
+                          "(typically its training data)")
+    rep.add_argument("--holdout", default=None,
+                     help="real data NOT used for training; enables the "
+                          "memorization property")
+    rep.add_argument("--model", default=None,
+                     help="model parameter file (any backend; sniffed)")
+    rep.add_argument("--registry", default=None,
+                     help="registry directory to load --spec from "
+                          "instead of --model")
+    rep.add_argument("--spec", default=None,
+                     help="registry spec, e.g. wwt or wwt@2")
+    rep.add_argument("--n", type=int, default=None,
+                     help="synthetic objects to generate "
+                          "(default: len of --data)")
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--no-downstream", action="store_true",
+                     help="skip the train-on-synthetic/test-on-real "
+                          "property (the slowest section)")
+    rep.add_argument("--privacy", action="store_true",
+                     help="also run the membership-inference battery "
+                          "(splits --data in half: first half treated "
+                          "as members)")
+    rep.add_argument("--json", default=None, metavar="FILE",
+                     help="write the canonical JSON document here")
+    rep.add_argument("--md", default=None, metavar="FILE",
+                     help="write the rendered markdown here")
+    rep.add_argument("--attach", action="store_true",
+                     help="attach the scores to the registry version "
+                          "(needs --registry/--spec)")
 
     met = sub.add_parser("metrics", help="inspect a telemetry directory "
                                          "written by --telemetry")
@@ -211,6 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="model name; each publish appends a version")
     pub.add_argument("--meta", default=None,
                      help="JSON object stored with the version entry")
+    pub.add_argument("--evaluate", action="store_true",
+                     help="score the model against --data and attach "
+                          "the scores to the published version")
+    pub.add_argument("--data", default=None,
+                     help="real dataset for --evaluate")
+    pub.add_argument("--holdout", default=None,
+                     help="held-out real data for --evaluate "
+                          "(enables the memorization score)")
+    pub.add_argument("--eval-n", type=int, default=None,
+                     help="synthetic objects generated for --evaluate "
+                          "(default: len of --data)")
+    pub.add_argument("--eval-seed", type=int, default=0)
 
     srv = sub.add_parser("serve", help="serve registry models over a "
                                        "loopback socket")
@@ -473,9 +531,17 @@ def _cmd_sweep(args) -> int:
     from repro.experiments.harness import run_sweep
     from repro.experiments.report import render_sweep_report, timing_summary
 
+    quality = {"n": args.quality_n} if args.quality else False
     result = run_sweep(args.datasets, args.models, scale=SCALES[args.scale],
                        workers=args.workers, seeds=args.seeds,
-                       cache_dir=args.cache_dir, telemetry=args.telemetry)
+                       cache_dir=args.cache_dir, telemetry=args.telemetry,
+                       quality=quality)
+    if result.quality:
+        for key in sorted(result.quality, key=str):
+            label = "/".join(str(p) for p in key) \
+                if isinstance(key, tuple) else str(key)
+            print(f"quality {label}: "
+                  f"{result.quality[key].overall:.4f}")
     summary = timing_summary(result.timings)
     if summary:
         print(summary)
@@ -530,15 +596,100 @@ def _cmd_publish(args) -> int:
             raise _CliError(f"--meta is not valid JSON: {exc}") from None
         if not isinstance(meta, dict):
             raise _CliError("--meta must be a JSON object")
+    scores = None
+    if args.evaluate:
+        from repro.quality import evaluate_model, scores_summary
+
+        if not args.data:
+            raise _CliError("publish --evaluate needs --data (the real "
+                            "dataset to score the model against)")
+        data = _load_dataset(args.data)
+        holdout = _load_dataset(args.holdout) if args.holdout else None
+        report = evaluate_model(model, data, holdout=holdout,
+                                n=args.eval_n, seed=args.eval_seed)
+        scores = scores_summary(report)
     try:
         registry = ModelRegistry(args.registry)
         record = registry.publish(args.name, model, meta=meta,
-                                  backend=backend.name)
+                                  backend=backend.name, scores=scores)
     except RegistryError as exc:
         raise _CliError(str(exc)) from None
     print(f"published {record.spec} (backend {record.backend}, sha256 "
           f"{record.sha256[:12]}..., {record.nbytes} bytes) to "
           f"{args.registry}")
+    if record.scores is not None:
+        print(f"scores attached: overall "
+              f"{record.scores['overall']:.4f}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.quality import (evaluate_model, privacy_battery,
+                               scores_summary)
+
+    if bool(args.model) == bool(args.spec):
+        raise _CliError("report needs exactly one of --model or "
+                        "--registry/--spec")
+    data = _load_dataset(args.data)
+    holdout = _load_dataset(args.holdout) if args.holdout else None
+    record = None
+    registry = None
+    if args.model:
+        model, _ = _load_model(args.model)
+        source = args.model
+    else:
+        from repro.serve import ModelRegistry, RegistryError
+
+        if not args.registry:
+            raise _CliError("--spec needs --registry")
+        try:
+            registry = ModelRegistry(args.registry)
+            record = registry.resolve(args.spec)
+            model = registry.load(record)
+        except RegistryError as exc:
+            raise _CliError(str(exc)) from None
+        source = record.spec
+    if args.attach and record is None:
+        raise _CliError("--attach needs --registry/--spec (a model "
+                        "file has no manifest to attach scores to)")
+
+    report = evaluate_model(model, data, holdout=holdout, n=args.n,
+                            seed=args.seed,
+                            downstream=not args.no_downstream)
+    battery = None
+    if args.privacy:
+        from repro.data.splits import make_split
+
+        split = make_split(data, np.random.default_rng(args.seed))
+        half = min(len(split.train_real), len(split.test_real))
+        battery = privacy_battery(model, split.train_real[:half],
+                                  split.test_real[:half],
+                                  seed=args.seed)
+    document = {"quality": report.to_dict()}
+    if battery is not None:
+        document["privacy"] = battery.to_dict()
+    if args.json:
+        with open(_ensure_parent(args.json), "w",
+                  encoding="utf-8") as handle:
+            handle.write(json.dumps(document, sort_keys=True, indent=2)
+                         + "\n")
+        print(f"JSON report written to {args.json}")
+    markdown = report.render_markdown(title=f"Quality report: {source}")
+    if battery is not None:
+        markdown += "\n" + battery.render_markdown()
+    if args.md:
+        with open(_ensure_parent(args.md), "w",
+                  encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
+        print(f"markdown report written to {args.md}")
+    if args.attach:
+        registry.attach_scores(record, scores_summary(report, battery))
+        print(f"scores attached to {record.spec}")
+    print(f"overall quality score: {report.overall:.4f} "
+          f"({len(report.properties)} properties)")
+    if battery is not None:
+        print(f"privacy grade: {battery.grade} (worst attacker "
+              f"advantage {battery.worst_advantage:.4f})")
     return 0
 
 
@@ -806,7 +957,8 @@ def main(argv=None) -> int:
     handlers = {"simulate": _cmd_simulate, "train": _cmd_train,
                 "generate": _cmd_generate, "inspect": _cmd_inspect,
                 "sweep": _cmd_sweep, "metrics": _cmd_metrics,
-                "publish": _cmd_publish, "serve": _cmd_serve,
+                "publish": _cmd_publish, "report": _cmd_report,
+                "serve": _cmd_serve,
                 "jobs": _cmd_jobs, "fleet-status": _cmd_fleet_status,
                 "bench-serve": _cmd_bench_serve}
     try:

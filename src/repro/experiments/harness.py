@@ -223,11 +223,15 @@ class SweepResult:
     for multi-seed sweeps -- to the trained model; ``timings`` maps the
     same keys to :class:`~repro.parallel.sweep.CellTiming` records
     measured where each cell ran (worker or parent process).
+    ``quality`` (filled when ``run_sweep(quality=...)``) maps the same
+    keys to :class:`~repro.quality.QualityReport` instances computed in
+    the parent process -- so they are identical at any worker count.
     """
 
     models: dict = field(default_factory=dict)
     failures: list[FailureRecord] = field(default_factory=list)
     timings: dict = field(default_factory=dict)
+    quality: dict = field(default_factory=dict)
 
     @property
     def failed_keys(self) -> list[tuple[str, str]]:
@@ -258,9 +262,35 @@ def _run_sweep_cells(cells, scale, config_overrides: dict, workers: int,
     return result
 
 
+def _score_sweep(result: SweepResult, scale: BenchScale,
+                 quality) -> None:
+    """Fill ``result.quality`` with one QualityReport per trained cell.
+
+    Runs in the parent process *after* the models come back, generating
+    from a fresh seeded rng per cell -- since the trained models are
+    bit-identical at any worker count, so are the reports.  ``quality``
+    is ``True`` for defaults or a dict of :class:`QualityReport` kwargs
+    plus ``n`` (objects generated per cell) and ``seed``; the expensive
+    ``downstream`` section defaults to off in sweeps.
+    """
+    from repro.quality import QualityReport
+
+    kwargs = dict(quality) if isinstance(quality, dict) else {}
+    n = int(kwargs.pop("n", 64))
+    seed = int(kwargs.pop("seed", scale.seed))
+    kwargs.setdefault("downstream", False)
+    for key in sorted(result.models, key=str):
+        dataset_name = key[0] if isinstance(key, tuple) else str(key)
+        real = get_dataset(dataset_name, scale)
+        synthetic = result.models[key].generate(
+            n, rng=np.random.default_rng(seed))
+        result.quality[key] = QualityReport(real, synthetic, seed=seed,
+                                            **kwargs)
+
+
 def run_sweep(dataset_names, model_names, scale: BenchScale = BENCH,
               isolate: bool = True, verbose: bool = True, workers: int = 1,
-              seeds=None, cache_dir=None, telemetry=None,
+              seeds=None, cache_dir=None, telemetry=None, quality=False,
               **config_overrides) -> SweepResult:
     """Train every (dataset, model[, seed]) cell, isolating failures.
 
@@ -281,6 +311,11 @@ def run_sweep(dataset_names, model_names, scale: BenchScale = BENCH,
         cache_dir: Optional directory for the on-disk result cache keyed
             by (config hash, dataset fingerprint, seed); cached cells are
             skipped and marked ``cached`` in the timing table.
+        quality: ``True`` (or a dict of :class:`~repro.quality.
+            QualityReport` kwargs plus ``n``/``seed``) to score every
+            trained cell with a quality report, computed in the parent
+            so it is worker-count invariant; sweep reports then rank
+            cells by overall score (see render_sweep_report).
         telemetry: Optional directory for a telemetry run.  Workers write
             per-cell event/metric files and the parent merges them into
             ``events.jsonl`` / ``metrics.json`` / ``report.md`` -- all
@@ -313,6 +348,8 @@ def run_sweep(dataset_names, model_names, scale: BenchScale = BENCH,
             emit("sweep.finish", {"trained": len(result.models),
                                   "failed": len(result.failures)})
         run.finalize(cell_labels=[c.label for c in cells])
+        if quality:
+            _score_sweep(result, scale, quality)
         if verbose and result.failures:
             print_table(
                 "Sweep failures",
@@ -356,6 +393,8 @@ def run_sweep(dataset_names, model_names, scale: BenchScale = BENCH,
         cells = build_cells(dataset_names, model_names, seeds, scale.seed)
         result = _run_sweep_cells(cells, scale, config_overrides, workers,
                                   cache_dir, isolate)
+    if quality:
+        _score_sweep(result, scale, quality)
     if verbose and result.failures:
         print_table(
             "Sweep failures",

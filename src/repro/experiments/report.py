@@ -266,7 +266,8 @@ def sweep_digest(models: dict, n: int = 16, seed: int = 0) -> dict[str, str]:
 
 def render_sweep_report(result, n: int = 16, seed: int = 0,
                         title: str = "Sweep report") -> str:
-    """Render a sweep as deterministic markdown: digests plus failures.
+    """Render a sweep as deterministic markdown: quality ranking (when
+    the sweep ran with ``quality=``), digests, and failures.
 
     Everything in the output is a pure function of the trained models and
     the failure records -- no timestamps, timings, or process ids -- so a
@@ -276,6 +277,21 @@ def render_sweep_report(result, n: int = 16, seed: int = 0,
     lines = [f"# {title}", "",
              f"- cells trained: {len(result.models)}",
              f"- cells failed: {len(result.failures)}", ""]
+    quality = getattr(result, "quality", None)
+    if quality:
+        ranked = sorted(quality,
+                        key=lambda k: (-quality[k].overall,
+                                       _cell_label(k)))
+        lines += ["## Quality ranking", "",
+                  "| rank | cell | overall | properties |",
+                  "|---|---|---|---|"]
+        for rank, key in enumerate(ranked, start=1):
+            report = quality[key]
+            breakdown = " ".join(
+                f"{p.name}={p.score:.3f}" for p in report.properties)
+            lines.append(f"| {rank} | {_cell_label(key)} | "
+                         f"{report.overall:.4f} | {breakdown} |")
+        lines.append("")
     digests = sweep_digest(result.models, n=n, seed=seed)
     if digests:
         lines += [f"## Generation digests (n={n}, seed={seed})", "",

@@ -16,8 +16,15 @@ def wasserstein1(a: np.ndarray, b: np.ndarray) -> float:
     """
     a = np.sort(np.asarray(a, dtype=np.float64))
     b = np.sort(np.asarray(b, dtype=np.float64))
-    if len(a) == 0 or len(b) == 0:
-        raise ValueError("empty sample")
+    if len(a) == 0 and len(b) == 0:
+        raise ValueError("both samples are empty; wasserstein1 needs at "
+                         "least one value on each side")
+    if len(a) == 0:
+        raise ValueError("the first sample is empty; wasserstein1 needs "
+                         "at least one value on each side")
+    if len(b) == 0:
+        raise ValueError("the second sample is empty; wasserstein1 needs "
+                         "at least one value on each side")
     support = np.concatenate([a, b])
     support.sort(kind="mergesort")
     deltas = np.diff(support)
@@ -48,9 +55,18 @@ def jensen_shannon_divergence(p: np.ndarray, q: np.ndarray) -> float:
 def categorical_jsd(real_values: np.ndarray, synthetic_values: np.ndarray,
                     n_categories: int) -> float:
     """JSD between empirical categorical histograms (Figures 20, 21, 23)."""
-    real_counts = np.bincount(np.asarray(real_values, dtype=np.int64),
+    real_values = np.asarray(real_values, dtype=np.int64)
+    synthetic_values = np.asarray(synthetic_values, dtype=np.int64)
+    for label, values in (("real", real_values),
+                          ("synthetic", synthetic_values)):
+        if values.size and values.min() < 0:
+            raise ValueError(
+                f"{label} values contain a negative category "
+                f"({int(values.min())}); category labels must be "
+                f"integers in [0, n_categories)")
+    real_counts = np.bincount(real_values,
                               minlength=n_categories).astype(np.float64)
-    syn_counts = np.bincount(np.asarray(synthetic_values, dtype=np.int64),
+    syn_counts = np.bincount(synthetic_values,
                              minlength=n_categories).astype(np.float64)
     return jensen_shannon_divergence(real_counts, syn_counts)
 

@@ -31,6 +31,14 @@ def nearest_neighbors(generated: np.ndarray, training: np.ndarray,
     """
     generated = np.asarray(generated, dtype=np.float64)
     training = np.asarray(training, dtype=np.float64)
+    for label, matrix in (("generated", generated), ("training", training)):
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"{label} must be a 2-D (n_samples, length) matrix, got "
+                f"a {matrix.ndim}-D array of shape {matrix.shape}")
+        if matrix.shape[0] == 0:
+            raise ValueError(f"{label} is empty; nearest_neighbors needs "
+                             f"at least one sample on each side")
     if generated.shape[1] != training.shape[1]:
         raise ValueError("generated/training series lengths differ")
     if k > len(training):
@@ -53,6 +61,16 @@ def memorization_ratio(generated: np.ndarray, training: np.ndarray,
     training data than fresh real data is -- i.e. no memorization.  Values
     far below 1 flag copying.
     """
+    for label, matrix in (("generated", generated), ("training", training),
+                          ("holdout", holdout)):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"{label} must be a 2-D (n_samples, length) matrix, got "
+                f"a {matrix.ndim}-D array of shape {matrix.shape}")
+        if matrix.shape[0] == 0:
+            raise ValueError(f"{label} is empty; memorization_ratio needs "
+                             f"at least one sample in each set")
     to_train = nearest_neighbors(generated, training, k=1).distances.mean()
     baseline = nearest_neighbors(holdout, training, k=1).distances.mean()
     return float(to_train / (baseline + 1e-12))

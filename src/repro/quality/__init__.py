@@ -1,0 +1,33 @@
+"""repro.quality: one-call scored quality report + privacy attack battery.
+
+The paper's two open questions -- "how good is the synthetic data?" and
+"how private is it?" -- productized (docs/quality.md):
+
+- :mod:`repro.quality.report` -- :class:`QualityReport`: every fidelity
+  property of §5.1 as a [0, 1] score with one overall mean, exported as
+  canonical JSON and deterministic markdown.
+- :mod:`repro.quality.privacy` -- :func:`privacy_battery`: the §5.3.1
+  membership-inference attacks (black-box distance + white-box
+  discriminator), scored as AUC / attacker advantage against the DP-SGD
+  ``(epsilon, delta)`` guarantee, condensed into a letter grade.
+- :mod:`repro.quality.evaluate` -- :func:`evaluate_model` scores any
+  registered backend's model (object or sniffed archive bytes), and
+  :func:`scores_summary` shapes the result for registry manifests.
+
+Wired through the stack: ``ModelRegistry.publish(..., scores=...)`` /
+``attach_scores``, ``run_sweep(quality=...)`` ranking, the CLI
+``report`` subcommand, ``publish --evaluate``, and job auto-publish.
+"""
+
+from repro.quality.evaluate import evaluate_model, scores_summary
+from repro.quality.privacy import (AttackResult, MemorizingBaseline,
+                                   PrivacyBattery, attack_auc,
+                                   privacy_battery, privacy_grade)
+from repro.quality.report import PropertyScore, QualityReport, clamp01
+
+__all__ = [
+    "QualityReport", "PropertyScore", "clamp01",
+    "privacy_battery", "PrivacyBattery", "AttackResult",
+    "MemorizingBaseline", "attack_auc", "privacy_grade",
+    "evaluate_model", "scores_summary",
+]

@@ -1,0 +1,81 @@
+"""Evaluate any released model against a dataset in one call.
+
+``evaluate_model`` is the glue between the :class:`QualityReport` math
+and the rest of the system: it accepts a fitted model of *any* registered
+:class:`~repro.backends.GeneratorBackend` -- or the raw archive bytes a
+registry blob / wire payload carries (the backend is sniffed from the
+self-describing archive, exactly like :meth:`ModelRegistry.load`) --
+generates a synthetic sample, and scores it.
+
+``scores_summary`` condenses a report (and optionally a privacy battery)
+into the compact dict the serve registry stores under a version's
+``scores`` key, so ``publish --evaluate`` / job auto-publish attach the
+same shape everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.quality.privacy import PrivacyBattery
+from repro.quality.report import QualityReport
+
+__all__ = ["evaluate_model", "scores_summary"]
+
+
+def evaluate_model(model_or_bytes, dataset: TimeSeriesDataset, *,
+                   holdout: TimeSeriesDataset | None = None,
+                   n: int | None = None, seed: int = 0,
+                   downstream: bool = True,
+                   mlp_iterations: int = 300) -> QualityReport:
+    """Score a model (object or archive bytes) against ``dataset``.
+
+    Args:
+        model_or_bytes: A fitted model of any registered backend, or the
+            raw ``save_bytes`` archive (sniffed, like registry loads).
+        dataset: The real data to compare against (typically the
+            training set).
+        holdout: Optional real data not used in training (enables the
+            memorization property).
+        n: Synthetic objects to generate (default: ``len(dataset)``).
+        seed: Generation + downstream seed; the report is a
+            deterministic function of it.
+    """
+    from repro.backends import backend_for_model, load_model_bytes
+
+    if isinstance(model_or_bytes, (bytes, bytearray)):
+        model, backend = load_model_bytes(bytes(model_or_bytes))
+    else:
+        model = model_or_bytes
+        backend = backend_for_model(model)
+    n = int(n) if n is not None else len(dataset)
+    synthetic = backend.generate(model, n,
+                                 rng=np.random.default_rng(seed))
+    return QualityReport(dataset, synthetic, holdout=holdout, seed=seed,
+                         downstream=downstream,
+                         mlp_iterations=mlp_iterations)
+
+
+def scores_summary(report: QualityReport,
+                   battery: PrivacyBattery | None = None) -> dict:
+    """The compact ``scores`` dict registry manifests carry per version.
+
+    Keys: ``overall`` (float), ``properties`` (name -> score), ``seed``,
+    and -- when a battery ran -- ``privacy`` (grade, worst advantage,
+    epsilon).  Unknown keys added by future versions are preserved
+    round-trip by the registry, so this shape can grow.
+    """
+    scores = {
+        "overall": report.overall,
+        "properties": report.property_scores(),
+        "seed": report.seed,
+    }
+    if battery is not None:
+        scores["privacy"] = {
+            "grade": battery.grade,
+            "worst_advantage": battery.worst_advantage,
+            "worst_auc": battery.worst_auc,
+            "epsilon": battery.epsilon,
+        }
+    return scores

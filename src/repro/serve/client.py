@@ -144,13 +144,16 @@ class _ClientOps:
                    backend: str = "doppelganger",
                    train: dict | None = None,
                    max_attempts: int | None = None,
-                   faults: list | None = None) -> dict:
+                   faults: list | None = None,
+                   evaluate: dict | None = None) -> dict:
         """Submit a training job; returns the queued job's record.
 
         ``dataset`` may be a :class:`TimeSeriesDataset`, npz bytes, or a
         dataset file path.  ``train`` carries the overrides listed in
-        :data:`repro.serve.jobs.TRAIN_KEYS`; ``faults`` is the test-only
-        fault-injection channel.
+        :data:`repro.serve.jobs.TRAIN_KEYS`; ``evaluate`` (keys in
+        :data:`repro.serve.jobs.EVALUATE_KEYS`) asks the worker to score
+        the published model and attach the scores to its registry
+        version; ``faults`` is the test-only fault-injection channel.
         """
         header = {"op": "submit", "name": str(name),
                   "backend": str(backend), "train": dict(train or {})}
@@ -158,6 +161,8 @@ class _ClientOps:
             header["max_attempts"] = int(max_attempts)
         if faults:
             header["faults"] = list(faults)
+        if evaluate is not None:
+            header["evaluate"] = dict(evaluate)
         response, _ = self._call(header, _dataset_bytes(dataset))
         return self._ok(response)["job"]
 

@@ -61,7 +61,8 @@ from repro.serve.registry import _write_atomic
 
 __all__ = ["JobError", "UnknownJob", "JobRecord", "JobStore",
            "JobSupervisor", "job_progress", "JOB_STATES",
-           "TRAIN_KEYS", "validate_train_overrides"]
+           "TRAIN_KEYS", "validate_train_overrides",
+           "EVALUATE_KEYS", "validate_evaluate_options"]
 
 #: The job lifecycle state machine (docs/robustness.md).
 JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
@@ -76,6 +77,11 @@ TRAIN_KEYS = {
     "sample_len": int, "seed": int, "checkpoint_every": int,
     "max_retries": int, "sentinel": bool,
 }
+
+#: Auto-evaluation options a submission may carry (``evaluate``); the
+#: worker scores the published model against the job's own training
+#: dataset and attaches the scores to the registry version.
+EVALUATE_KEYS = {"n": int, "seed": int, "downstream": bool}
 
 _JOB_ID_RE = re.compile(r"^job-(\d{6})$")
 
@@ -112,6 +118,30 @@ def validate_train_overrides(train: dict | None) -> dict:
     return clean
 
 
+def validate_evaluate_options(evaluate: dict | None) -> dict:
+    """Check a submission's auto-evaluation options; returns a clean copy.
+
+    Mirrors :func:`validate_train_overrides`: an unknown or mistyped key
+    is a :class:`JobError` (-> ``bad_request``), never a silent ignore.
+    """
+    clean: dict = {}
+    for key, value in dict(evaluate or {}).items():
+        expected = EVALUATE_KEYS.get(key)
+        if expected is None:
+            raise JobError(
+                f"unknown evaluate option {key!r} "
+                f"(supported: {', '.join(sorted(EVALUATE_KEYS))})")
+        if expected is bool:
+            if not isinstance(value, bool):
+                raise JobError(f"evaluate option {key!r} must be a "
+                               f"boolean, got {value!r}")
+        elif not isinstance(value, int) or isinstance(value, bool):
+            raise JobError(f"evaluate option {key!r} must be an "
+                           f"integer, got {value!r}")
+        clean[key] = value
+    return clean
+
+
 @dataclass
 class JobRecord:
     """The durable facts of one training job (``job.json``).
@@ -126,6 +156,7 @@ class JobRecord:
     name: str
     backend: str
     train: dict = field(default_factory=dict)
+    evaluate: dict = field(default_factory=dict)
     state: str = "queued"
     attempts: int = 0
     max_attempts: int = 3
@@ -150,7 +181,8 @@ class JobRecord:
                 "attempts": self.attempts,
                 "max_attempts": self.max_attempts,
                 "error": self.error, "result": self.result,
-                "train": dict(self.train)}
+                "train": dict(self.train),
+                "evaluate": dict(self.evaluate)}
 
 
 class JobStore:
@@ -202,13 +234,15 @@ class JobStore:
     # -- records -------------------------------------------------------------
     def create(self, name: str, backend: str, data_bytes: bytes,
                train: dict | None = None, max_attempts: int = 3,
-               faults: list | None = None) -> JobRecord:
+               faults: list | None = None,
+               evaluate: dict | None = None) -> JobRecord:
         """Persist a new queued job; ids are dense and ordered."""
         with self._lock:
             job_id = f"job-{self._next_index():06d}"
             record = JobRecord(job_id=job_id, name=str(name),
                                backend=str(backend),
                                train=validate_train_overrides(train),
+                               evaluate=validate_evaluate_options(evaluate),
                                max_attempts=int(max_attempts),
                                faults=list(faults or []))
             os.makedirs(self.job_dir(job_id), exist_ok=True)
@@ -400,13 +434,14 @@ class JobSupervisor:
     # -- public operations ---------------------------------------------------
     def submit(self, name: str, backend: str, data_bytes: bytes,
                train: dict | None = None, max_attempts: int | None = None,
-               faults: list | None = None) -> JobRecord:
+               faults: list | None = None,
+               evaluate: dict | None = None) -> JobRecord:
         """Persist and queue a new job; the loop picks it up."""
         budget = (self.retry.max_attempts if max_attempts is None
                   else int(max_attempts))
         return self.store.create(name, backend, data_bytes, train=train,
                                  max_attempts=max(budget, 1),
-                                 faults=faults)
+                                 faults=faults, evaluate=evaluate)
 
     def status(self, job_id: str) -> dict:
         """The durable record merged with live telemetry progress."""

@@ -78,6 +78,11 @@ class ModelRecord:
     nbytes: int
     backend: str = "doppelganger"
     meta: dict = field(default_factory=dict, compare=False)
+    #: Optional quality/privacy scores (repro.quality.scores_summary).
+    #: ``None`` for versions published without evaluation; manifests
+    #: written before this field existed have no entry and load as
+    #: ``None`` byte-identically.
+    scores: dict | None = field(default=None, compare=False)
 
     @property
     def spec(self) -> str:
@@ -151,16 +156,20 @@ class ModelRegistry:
         return manifest
 
     def _record(self, name: str, entry: dict) -> ModelRecord:
+        scores = entry.get("scores")
         return ModelRecord(name=name, version=int(entry["version"]),
                            sha256=str(entry["sha256"]),
                            nbytes=int(entry["nbytes"]),
                            backend=str(entry.get("backend",
                                                  "doppelganger")),
-                           meta=dict(entry.get("meta", {})))
+                           meta=dict(entry.get("meta", {})),
+                           scores=(dict(scores)
+                                   if isinstance(scores, dict) else None))
 
     # -- publishing ----------------------------------------------------------
     def publish(self, name: str, model, meta: dict | None = None,
-                backend: str | None = None) -> ModelRecord:
+                backend: str | None = None,
+                scores: dict | None = None) -> ModelRecord:
         """Publish ``model`` (a fitted model of any registered backend,
         or raw archive bytes).
 
@@ -171,7 +180,12 @@ class ModelRegistry:
         backend tag explicitly; by default it is inferred from the model
         object (or sniffed from raw bytes, falling back to the default
         tag for opaque blobs -- undecodable bytes then surface at
-        :meth:`load` time, not here).
+        :meth:`load` time, not here).  ``scores`` is an optional
+        quality/privacy summary (:func:`repro.quality.scores_summary`);
+        versions published without one carry no ``scores`` key at all,
+        so unscored manifests stay byte-identical to pre-scores ones.
+        An idempotent republish of identical bytes *with* scores
+        attaches them to the existing latest version.
         """
         from repro.backends import (DEFAULT_BACKEND, backend_for_model,
                                     get_backend, sniff_backend)
@@ -199,6 +213,10 @@ class ModelRegistry:
                                                  "versions": []}
         versions = manifest["versions"]
         if versions and versions[-1]["sha256"] == sha256:
+            if scores is not None:
+                versions[-1]["scores"] = dict(scores)
+                self._write_manifest(name, manifest)
+                obs_metrics.counter("registry.attach_scores").inc()
             return self._record(name, versions[-1])
 
         blob_path = self._blob_path(sha256)
@@ -212,12 +230,42 @@ class ModelRegistry:
             "backend": backend,
             "meta": dict(meta or {}),
         }
+        if scores is not None:
+            entry["scores"] = dict(scores)
         versions.append(entry)
+        self._write_manifest(name, manifest)
+        obs_metrics.counter("registry.publish").inc()
+        return self._record(name, entry)
+
+    def _write_manifest(self, name: str, manifest: dict) -> None:
         _write_atomic(self._manifest_path(name),
                       (json.dumps(manifest, sort_keys=True, indent=2)
                        + "\n").encode("utf-8"))
-        obs_metrics.counter("registry.publish").inc()
-        return self._record(name, entry)
+
+    def attach_scores(self, spec: str | ModelRecord,
+                      scores: dict) -> ModelRecord:
+        """Attach (or replace) the ``scores`` dict of one version.
+
+        Evaluation happens after publishing (the job worker publishes
+        first, then scores), so the manifest rewrite is atomic and
+        leaves every other key of the entry untouched -- including
+        unknown keys written by newer code.
+        """
+        record = spec if isinstance(spec, ModelRecord) \
+            else self.resolve(spec)
+        manifest = self._read_manifest(record.name)
+        if manifest is None:
+            raise ModelNotFound(
+                f"no model named {record.name!r} in registry "
+                f"{self.root!r}")
+        for entry in manifest["versions"]:
+            if int(entry["version"]) == record.version:
+                entry["scores"] = dict(scores)
+                self._write_manifest(record.name, manifest)
+                obs_metrics.counter("registry.attach_scores").inc()
+                return self._record(record.name, entry)
+        raise ModelNotFound(
+            f"model {record.name!r} has no version {record.version}")
 
     # -- resolution and loading ----------------------------------------------
     def resolve(self, spec: str) -> ModelRecord:

@@ -305,6 +305,7 @@ class GenerationService:
                        validate_train_overrides, job_error
                        ) -> tuple[dict, bytes]:
         from repro.backends import UnknownBackend, get_backend
+        from repro.serve.jobs import validate_evaluate_options
         from repro.serve.registry import _NAME_RE
 
         name = header.get("name")
@@ -337,6 +338,15 @@ class GenerationService:
             return self._error(protocol.ERR_BAD_REQUEST,
                                f"submit payload is not a dataset "
                                f"archive: {exc}")
+        evaluate = header.get("evaluate") or {}
+        if not isinstance(evaluate, dict):
+            return self._error(protocol.ERR_BAD_REQUEST,
+                               f"evaluate must be a JSON object, "
+                               f"got {evaluate!r}")
+        try:
+            evaluate = validate_evaluate_options(evaluate)
+        except job_error as exc:
+            return self._error(protocol.ERR_BAD_REQUEST, str(exc))
         faults_spec = header.get("faults") or []
         if not isinstance(faults_spec, list):
             return self._error(protocol.ERR_BAD_REQUEST,
@@ -350,7 +360,7 @@ class GenerationService:
                                f"integer, got {max_attempts!r}")
         record = self.jobs.submit(name, backend.name, payload,
                                   train=train, max_attempts=max_attempts,
-                                  faults=faults_spec)
+                                  faults=faults_spec, evaluate=evaluate)
         return {"status": "ok", "job": record.public()}, b""
 
     # -- lifecycle -----------------------------------------------------------

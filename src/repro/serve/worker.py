@@ -115,6 +115,21 @@ def _train_generic(record: JobRecord, data: TimeSeriesDataset):
     return model
 
 
+def _attach_scores(record: JobRecord, store: JobStore,
+                   registry: ModelRegistry, published, blob: bytes):
+    """Evaluate the published model and attach its quality scores."""
+    from repro.quality import evaluate_model, scores_summary
+
+    opts = record.evaluate
+    data = TimeSeriesDataset.load(store.data_path(record.job_id))
+    report = evaluate_model(
+        blob, data,
+        n=int(opts.get("n", min(len(data), 64))),
+        seed=int(opts.get("seed", 0)),
+        downstream=bool(opts.get("downstream", False)))
+    return registry.attach_scores(published, scores_summary(report))
+
+
 def run_job(job_dir: str, registry_root: str) -> int:
     """Execute one attempt of the job in ``job_dir``; returns exit code."""
     store = JobStore(os.path.dirname(os.path.abspath(job_dir)))
@@ -148,10 +163,19 @@ def run_job(job_dir: str, registry_root: str) -> int:
     published = registry.publish(record.name, blob,
                                  backend=backend.name,
                                  meta={"job_id": job_id})
+    if record.evaluate:
+        # Score the published version against the job's own training
+        # dataset.  Evaluation is a pure function of (model bytes, data,
+        # options), so a crash-and-relaunch re-attaches identical scores
+        # -- the step is idempotent like everything else here.
+        published = _attach_scores(record, store, registry, published,
+                                   blob)
     faults.fire("jobs.pre_receipt")
     receipt = {"spec": published.spec, "name": published.name,
                "version": published.version, "sha256": published.sha256,
                "nbytes": published.nbytes, "backend": published.backend}
+    if published.scores is not None:
+        receipt["scores"] = published.scores
     _write_atomic(store.result_path(job_id),
                   (json.dumps(receipt, sort_keys=True, indent=2)
                    + "\n").encode("utf-8"))

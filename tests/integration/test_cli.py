@@ -186,3 +186,93 @@ class TestServingWorkflow:
         rc = main(["serve", "--registry", str(workdir / "empty-reg")])
         assert rc == 2
         assert "no published models" in capsys.readouterr().err
+
+
+class TestQualityReport:
+    """The report subcommand and publish --evaluate."""
+
+    @pytest.fixture
+    def saved(self, workdir, trained_dg_gcut, tiny_gcut):
+        model_path = workdir / "model.npz"
+        data_path = workdir / "data.npz"
+        trained_dg_gcut.save(model_path)
+        tiny_gcut.save(data_path)
+        return model_path, data_path
+
+    def test_report_from_model_file(self, saved, workdir, capsys):
+        model_path, data_path = saved
+        json_path = workdir / "quality.json"
+        md_path = workdir / "quality.md"
+        assert main(["report", "--model", str(model_path),
+                     "--data", str(data_path), "--n", "16",
+                     "--no-downstream", "--json", str(json_path),
+                     "--md", str(md_path)]) == 0
+        assert "overall quality score:" in capsys.readouterr().out
+        import json as json_mod
+        document = json_mod.loads(json_path.read_text())
+        assert 0.0 <= document["quality"]["overall"] <= 1.0
+        assert md_path.read_text().startswith("# Quality report:")
+
+    def test_report_is_byte_deterministic(self, saved, workdir):
+        model_path, data_path = saved
+        for tag in ("a", "b"):
+            assert main(["report", "--model", str(model_path),
+                         "--data", str(data_path), "--n", "16",
+                         "--no-downstream",
+                         "--json", str(workdir / f"{tag}.json"),
+                         "--md", str(workdir / f"{tag}.md")]) == 0
+        for suffix in (".json", ".md"):
+            assert (workdir / f"a{suffix}").read_bytes() == \
+                (workdir / f"b{suffix}").read_bytes()
+
+    def test_report_with_privacy_battery(self, saved, workdir, capsys):
+        model_path, data_path = saved
+        assert main(["report", "--model", str(model_path),
+                     "--data", str(data_path), "--n", "16",
+                     "--no-downstream", "--privacy"]) == 0
+        out = capsys.readouterr().out
+        assert "privacy grade:" in out
+
+    def test_report_spec_with_attach(self, saved, workdir, capsys):
+        model_path, data_path = saved
+        registry = workdir / "reg"
+        main(["publish", "--model", str(model_path),
+              "--registry", str(registry), "--name", "gcut"])
+        capsys.readouterr()
+        assert main(["report", "--spec", "gcut@latest",
+                     "--registry", str(registry),
+                     "--data", str(data_path), "--n", "16",
+                     "--no-downstream", "--attach"]) == 0
+        assert "scores attached to gcut@1" in capsys.readouterr().out
+        from repro.serve import ModelRegistry
+        scores = ModelRegistry(str(registry)).resolve("gcut").scores
+        assert scores is not None and "overall" in scores
+
+    def test_report_needs_exactly_one_source(self, saved, capsys):
+        model_path, data_path = saved
+        rc = main(["report", "--data", str(data_path)])
+        assert rc == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_publish_evaluate_attaches_scores(self, saved, workdir,
+                                              capsys):
+        model_path, data_path = saved
+        registry = workdir / "reg"
+        assert main(["publish", "--model", str(model_path),
+                     "--registry", str(registry), "--name", "gcut",
+                     "--evaluate", "--data", str(data_path),
+                     "--eval-n", "16"]) == 0
+        assert "scores attached: overall" in capsys.readouterr().out
+        from repro.serve import ModelRegistry
+        record = ModelRegistry(str(registry)).resolve("gcut")
+        assert record.scores is not None
+        assert record.scores["properties"]
+
+    def test_publish_evaluate_requires_data(self, saved, workdir,
+                                            capsys):
+        model_path, _ = saved
+        rc = main(["publish", "--model", str(model_path),
+                   "--registry", str(workdir / "reg"), "--name", "gcut",
+                   "--evaluate"])
+        assert rc == 2
+        assert "needs --data" in capsys.readouterr().err

@@ -90,6 +90,41 @@ class TestCategoricalJSD:
         assert categorical_jsd(a, b, 4) > 0.05
 
 
+class TestInputValidation:
+    """The hardened error contract: empty or malformed inputs raise a
+    ValueError that names the offending side, never a cryptic numpy
+    error or a silent NaN."""
+
+    def test_both_empty_named(self):
+        with pytest.raises(ValueError, match="both samples are empty"):
+            wasserstein1(np.array([]), np.array([]))
+
+    def test_first_empty_named(self):
+        with pytest.raises(ValueError, match="first sample is empty"):
+            wasserstein1(np.array([]), np.array([1.0]))
+
+    def test_second_empty_named(self):
+        with pytest.raises(ValueError, match="second sample is empty"):
+            wasserstein1(np.array([1.0]), np.array([]))
+
+    def test_negative_real_category_named(self):
+        with pytest.raises(ValueError,
+                           match=r"real values contain a negative "
+                                 r"category \(-1\)"):
+            categorical_jsd(np.array([0, -1]), np.array([0, 1]), 2)
+
+    def test_negative_synthetic_category_named(self):
+        with pytest.raises(ValueError,
+                           match=r"synthetic values contain a negative "
+                                 r"category \(-3\)"):
+            categorical_jsd(np.array([0, 1]), np.array([-3, 1]), 2)
+
+    def test_float_labels_are_cast(self):
+        a = np.array([0.0, 1.0, 1.0, 0.0])
+        b = np.array([1.0, 0.0, 0.0, 1.0])
+        assert categorical_jsd(a, b, 2) >= 0.0
+
+
 class TestTotalVariation:
     def test_known_value(self):
         assert total_variation(np.array([1.0, 0.0]),

@@ -51,3 +51,41 @@ class TestMemorizationRatio:
         fresh = rng.normal(size=(60, 12))
         ratio = memorization_ratio(fresh, train, holdout)
         assert 0.5 < ratio < 2.0
+
+
+class TestInputValidation:
+    """Hardened error contract: every malformed input raises a
+    ValueError naming which array is wrong and why."""
+
+    def test_nn_one_dimensional_generated_named(self):
+        with pytest.raises(ValueError,
+                           match=r"generated must be a 2-D .* got a "
+                                 r"1-D array of shape \(5,\)"):
+            nearest_neighbors(np.zeros(5), np.zeros((3, 5)))
+
+    def test_nn_three_dimensional_training_named(self):
+        with pytest.raises(ValueError, match="training must be a 2-D"):
+            nearest_neighbors(np.zeros((2, 5)), np.zeros((3, 5, 1)))
+
+    def test_nn_empty_generated_named(self):
+        with pytest.raises(ValueError, match="generated is empty"):
+            nearest_neighbors(np.zeros((0, 5)), np.zeros((3, 5)))
+
+    def test_nn_empty_training_named(self):
+        with pytest.raises(ValueError, match="training is empty"):
+            nearest_neighbors(np.zeros((2, 5)), np.zeros((0, 5)))
+
+    def test_ratio_empty_training_named(self):
+        with pytest.raises(ValueError, match="training is empty"):
+            memorization_ratio(np.zeros((2, 5)), np.zeros((0, 5)),
+                               np.zeros((3, 5)))
+
+    def test_ratio_one_dimensional_holdout_named(self):
+        with pytest.raises(ValueError, match="holdout must be a 2-D"):
+            memorization_ratio(np.zeros((2, 5)), np.zeros((3, 5)),
+                               np.zeros(5))
+
+    def test_ratio_empty_generated_named(self):
+        with pytest.raises(ValueError, match="generated is empty"):
+            memorization_ratio(np.zeros((0, 5)), np.zeros((3, 5)),
+                               np.zeros((3, 5)))

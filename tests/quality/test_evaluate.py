@@ -1,0 +1,69 @@
+"""Tests for one-call model evaluation and the registry scores shape."""
+
+import numpy as np
+import pytest
+
+from repro.backends import backend_for_model, get_backend
+from repro.quality import evaluate_model, privacy_battery, scores_summary
+from repro.quality.privacy import MemorizingBaseline
+
+
+@pytest.fixture(scope="module")
+def hmm_model(tiny_gcut):
+    from repro.experiments.configs import SCALES
+
+    backend = get_backend("hmm")
+    config = backend.make_config("gcut-tiny", SCALES["tiny"], seed=5)
+    model = backend.from_config(tiny_gcut.schema, config)
+    backend.fit(model, tiny_gcut)
+    return model
+
+
+class TestEvaluateModel:
+    def test_model_object(self, hmm_model, tiny_gcut):
+        report = evaluate_model(hmm_model, tiny_gcut, n=32, seed=0,
+                                downstream=False)
+        assert report.n_synthetic == 32
+        assert 0.0 <= report.overall <= 1.0
+
+    def test_bytes_match_object(self, hmm_model, tiny_gcut):
+        backend = backend_for_model(hmm_model)
+        blob = backend.save_bytes(hmm_model)
+        from_object = evaluate_model(hmm_model, tiny_gcut, n=32, seed=0,
+                                     downstream=False)
+        from_bytes = evaluate_model(blob, tiny_gcut, n=32, seed=0,
+                                    downstream=False)
+        assert from_bytes.to_json() == from_object.to_json()
+
+    def test_n_defaults_to_dataset_size(self, hmm_model, tiny_gcut):
+        report = evaluate_model(hmm_model, tiny_gcut, downstream=False)
+        assert report.n_synthetic == len(tiny_gcut)
+
+    def test_deterministic_in_seed(self, hmm_model, tiny_gcut):
+        a = evaluate_model(hmm_model, tiny_gcut, n=24, seed=9,
+                           downstream=False)
+        b = evaluate_model(hmm_model, tiny_gcut, n=24, seed=9,
+                           downstream=False)
+        assert a.to_json() == b.to_json()
+
+
+class TestScoresSummary:
+    def test_shape_without_privacy(self, hmm_model, tiny_gcut):
+        report = evaluate_model(hmm_model, tiny_gcut, n=24,
+                                downstream=False)
+        scores = scores_summary(report)
+        assert set(scores) == {"overall", "properties", "seed"}
+        assert scores["overall"] == pytest.approx(report.overall)
+        assert scores["properties"] == report.property_scores()
+
+    def test_shape_with_privacy(self, hmm_model, tiny_gcut):
+        members = tiny_gcut[np.arange(0, 20)]
+        non_members = tiny_gcut[np.arange(20, 40)]
+        report = evaluate_model(hmm_model, members, n=16,
+                                downstream=False)
+        battery = privacy_battery(MemorizingBaseline(members), members,
+                                  non_members, n_generated=16)
+        scores = scores_summary(report, battery)
+        assert scores["privacy"]["grade"] == battery.grade
+        assert scores["privacy"]["worst_advantage"] == \
+            battery.worst_advantage

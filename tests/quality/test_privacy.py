@@ -1,0 +1,145 @@
+"""Tests for the empirical privacy attack battery."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.privacy.membership_inference import MembershipInferenceResult
+from repro.quality import (MemorizingBaseline, attack_auc, privacy_battery,
+                           privacy_grade)
+
+
+@pytest.fixture(scope="module")
+def candidate_split(tiny_gcut):
+    """Balanced member / non-member candidate sets."""
+    members = tiny_gcut[np.arange(0, 30)]
+    non_members = tiny_gcut[np.arange(30, 60)]
+    return members, non_members
+
+
+class TestGrades:
+    @pytest.mark.parametrize("advantage,grade", [
+        (0.0, "A"), (0.05, "A"), (0.1, "B"), (0.2, "C"),
+        (0.4, "D"), (0.6, "F"), (1.0, "F"),
+    ])
+    def test_thresholds(self, advantage, grade):
+        assert privacy_grade(advantage) == grade
+
+
+class TestAttackAuc:
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        result = MembershipInferenceResult(
+            success_rate=0.5, member_scores=rng.normal(size=500),
+            non_member_scores=rng.normal(size=500))
+        assert attack_auc(result) == pytest.approx(0.5, abs=0.05)
+
+    def test_separated_scores_is_one(self):
+        result = MembershipInferenceResult(
+            success_rate=1.0, member_scores=np.array([2.0, 3.0]),
+            non_member_scores=np.array([0.0, 1.0]))
+        assert attack_auc(result) == 1.0
+
+    def test_ties_use_average_ranks(self):
+        result = MembershipInferenceResult(
+            success_rate=0.5, member_scores=np.array([1.0, 1.0]),
+            non_member_scores=np.array([1.0, 1.0]))
+        assert attack_auc(result) == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        result = MembershipInferenceResult(
+            success_rate=0.0, member_scores=np.array([]),
+            non_member_scores=np.array([1.0]))
+        with pytest.raises(ValueError, match="both sides"):
+            attack_auc(result)
+
+
+class TestMemorizingBaseline:
+    def test_generates_training_rows(self, tiny_gcut):
+        baseline = MemorizingBaseline(tiny_gcut)
+        sample = baseline.generate(10, rng=np.random.default_rng(0))
+        assert len(sample) == 10
+        # every generated row is literally a training row
+        train = tiny_gcut.features.reshape(len(tiny_gcut), -1)
+        for row in sample.features.reshape(10, -1):
+            assert (np.abs(train - row).sum(axis=1) == 0).any()
+
+    def test_empty_dataset_rejected(self, tiny_gcut):
+        with pytest.raises(ValueError, match="empty"):
+            MemorizingBaseline(tiny_gcut[np.arange(0)])
+
+    def test_attacks_saturate_on_it(self, candidate_split):
+        members, non_members = candidate_split
+        battery = privacy_battery(MemorizingBaseline(members), members,
+                                  non_members, n_generated=128, seed=0)
+        assert battery.worst_advantage > 0.5
+        assert battery.grade == "F"
+
+
+class TestPrivacyBattery:
+    def test_unbalanced_candidates_rejected(self, tiny_gcut):
+        with pytest.raises(ValueError, match="balanced"):
+            privacy_battery(MemorizingBaseline(tiny_gcut),
+                            tiny_gcut[np.arange(10)],
+                            tiny_gcut[np.arange(10, 25)])
+
+    def test_empty_candidates_rejected(self, tiny_gcut):
+        with pytest.raises(ValueError, match="at least one"):
+            privacy_battery(MemorizingBaseline(tiny_gcut),
+                            tiny_gcut[np.arange(0)],
+                            tiny_gcut[np.arange(0)])
+
+    def test_deterministic_in_seed(self, candidate_split):
+        members, non_members = candidate_split
+        model = MemorizingBaseline(members)
+        a = privacy_battery(model, members, non_members, seed=7)
+        b = privacy_battery(model, members, non_members, seed=7)
+        assert a.to_json() == b.to_json()
+
+    def test_discriminator_attack_runs_on_doppelganger(
+            self, trained_dg_gcut, candidate_split):
+        members, non_members = candidate_split
+        battery = privacy_battery(trained_dg_gcut, members, non_members,
+                                  n_generated=64, seed=0)
+        names = [a.name for a in battery.attacks]
+        assert names == ["distance", "discriminator"]
+        assert not battery.notes
+
+    def test_discriminator_attack_noted_when_absent(self, candidate_split):
+        members, non_members = candidate_split
+        battery = privacy_battery(MemorizingBaseline(members), members,
+                                  non_members, n_generated=32, seed=0)
+        assert [a.name for a in battery.attacks] == ["distance"]
+        assert any("discriminator" in note for note in battery.notes)
+
+    def test_explicit_epsilon_sets_bound(self, candidate_split):
+        members, non_members = candidate_split
+        battery = privacy_battery(MemorizingBaseline(members), members,
+                                  non_members, n_generated=32, seed=0,
+                                  epsilon=0.1, delta=1e-5)
+        assert battery.epsilon == 0.1
+        assert battery.advantage_bound == pytest.approx(
+            np.expm1(0.1) + 1e-5)
+        # the memorizer blows straight through a tight DP bound
+        assert battery.within_bound is False
+
+    def test_huge_epsilon_bound_saturates(self, candidate_split):
+        members, non_members = candidate_split
+        battery = privacy_battery(MemorizingBaseline(members), members,
+                                  non_members, n_generated=32, seed=0,
+                                  epsilon=1000.0)
+        assert battery.advantage_bound == 1.0
+        assert battery.within_bound is True
+
+    def test_exports(self, candidate_split):
+        members, non_members = candidate_split
+        battery = privacy_battery(MemorizingBaseline(members), members,
+                                  non_members, n_generated=32, seed=0)
+        doc = json.loads(battery.to_json())
+        assert doc["schema_version"] == 1
+        assert doc["grade"] == battery.grade
+        assert doc["within_bound"] is None  # no DP context
+        text = battery.render_markdown()
+        assert f"**Grade: {battery.grade}**" in text
+        assert "| distance |" in text

@@ -1,0 +1,100 @@
+"""Job auto-evaluation: validated options, worker score attachment."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.jobs import (JobError, JobRecord, JobStore,
+                              validate_evaluate_options)
+from repro.serve.registry import ModelRegistry
+from repro.serve.worker import run_job
+
+
+class TestValidateEvaluateOptions:
+    def test_accepts_known_keys(self):
+        evaluate = validate_evaluate_options(
+            {"n": 32, "seed": 1, "downstream": True})
+        assert evaluate == {"n": 32, "seed": 1, "downstream": True}
+
+    def test_none_is_empty(self):
+        assert validate_evaluate_options(None) == {}
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(JobError, match="unknown evaluate option"):
+            validate_evaluate_options({"holdout_fraction": 0.2})
+
+    def test_rejects_non_integer_values(self):
+        with pytest.raises(JobError, match="'n' must be an integer"):
+            validate_evaluate_options({"n": "lots"})
+
+    def test_rejects_int_where_bool_expected(self):
+        with pytest.raises(JobError, match="'downstream' must be a bool"):
+            validate_evaluate_options({"downstream": 1})
+
+
+class TestRecordBackCompat:
+    def test_legacy_record_json_loads_with_empty_evaluate(self):
+        """job.json written before the evaluate field existed."""
+        legacy = json.dumps({
+            "job_id": "job-000001", "name": "m",
+            "backend": "doppelganger", "train": {}, "state": "queued",
+            "attempts": 0, "max_attempts": 3,
+            "cancel_requested": False, "error": None, "result": None,
+            "faults": []})
+        record = JobRecord.from_json(legacy)
+        assert record.evaluate == {}
+
+    def test_evaluate_round_trips_through_json(self):
+        record = JobRecord(job_id="job-000002", name="m",
+                           backend="hmm", evaluate={"n": 16, "seed": 3})
+        assert JobRecord.from_json(record.to_json()) == record
+
+    def test_public_view_exposes_evaluate(self):
+        record = JobRecord(job_id="job-000001", name="m",
+                           backend="hmm", evaluate={"n": 16})
+        assert record.public()["evaluate"] == {"n": 16}
+
+
+class TestWorkerAttachment:
+    @pytest.fixture
+    def stored_job(self, tmp_path, tiny_gcut):
+        store = JobStore(tmp_path / "jobs")
+        buffer = io.BytesIO()
+        tiny_gcut[np.arange(24)].save(buffer)
+        record = store.create("scored", "hmm", buffer.getvalue(),
+                              train={"iterations": 2, "seed": 1},
+                              evaluate={"n": 16, "seed": 0})
+        return store, record, str(tmp_path / "reg")
+
+    def test_scores_attached_to_published_version(self, stored_job):
+        store, record, registry_root = stored_job
+        assert run_job(store.job_dir(record.job_id), registry_root) == 0
+        published = ModelRegistry(registry_root).resolve("scored@latest")
+        assert published.scores is not None
+        assert 0.0 <= published.scores["overall"] <= 1.0
+        assert published.scores["seed"] == 0
+        receipt = store.read_result(record.job_id)
+        assert receipt["scores"] == published.scores
+
+    def test_rerun_is_idempotent(self, stored_job):
+        store, record, registry_root = stored_job
+        run_job(store.job_dir(record.job_id), registry_root)
+        first = ModelRegistry(registry_root).resolve("scored@latest")
+        assert run_job(store.job_dir(record.job_id), registry_root) == 0
+        second = ModelRegistry(registry_root).resolve("scored@latest")
+        assert second.version == first.version
+        assert second.scores == first.scores
+
+    def test_no_evaluate_means_no_scores(self, tmp_path, tiny_gcut):
+        store = JobStore(tmp_path / "jobs")
+        buffer = io.BytesIO()
+        tiny_gcut[np.arange(24)].save(buffer)
+        record = store.create("plain", "hmm", buffer.getvalue(),
+                              train={"iterations": 2, "seed": 1})
+        run_job(store.job_dir(record.job_id), str(tmp_path / "reg"))
+        published = ModelRegistry(
+            str(tmp_path / "reg")).resolve("plain@latest")
+        assert published.scores is None
+        assert "scores" not in store.read_result(record.job_id)

@@ -1,0 +1,144 @@
+"""Registry scores entry: attach, round-trip, and back-compat.
+
+The ``scores`` key on a version entry is strictly additive: manifests
+published without scores must stay byte-identical to pre-scores ones,
+legacy manifests must load unchanged, and unknown keys inside ``scores``
+written by newer code must survive a round-trip untouched.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve.registry import ModelNotFound, ModelRegistry
+
+SCORES = {"overall": 0.91, "properties": {"lengths": 0.95},
+          "seed": 0}
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "reg")
+
+
+def manifest_bytes(registry, name):
+    path = os.path.join(registry.root, "models", f"{name}.json")
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+class TestBackCompat:
+    def test_unscored_manifest_is_byte_identical(self, tmp_path,
+                                                 trained_dg_gcut):
+        """Publishing without scores writes the exact same manifest
+        bytes as a registry that has never heard of scores."""
+        a = ModelRegistry(tmp_path / "a")
+        b = ModelRegistry(tmp_path / "b")
+        a.publish("gcut", trained_dg_gcut)
+        b.publish("gcut", trained_dg_gcut, scores=None)
+        assert manifest_bytes(a, "gcut") == manifest_bytes(b, "gcut")
+        assert b"scores" not in manifest_bytes(a, "gcut")
+
+    def test_legacy_manifest_loads_with_none_scores(self, registry,
+                                                    trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        record = registry.resolve("gcut")
+        assert record.scores is None
+
+    def test_handwritten_legacy_manifest_resolves(self, registry,
+                                                  trained_dg_gcut):
+        """A manifest written before the scores field existed (no
+        ``scores`` key anywhere) resolves and loads untouched."""
+        published = registry.publish("gcut", trained_dg_gcut)
+        path = os.path.join(registry.root, "models", "gcut.json")
+        with open(path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        for entry in manifest["versions"]:
+            assert "scores" not in entry
+        record = registry.resolve("gcut@1")
+        assert record.scores is None
+        assert record.sha256 == published.sha256
+
+
+class TestAttachScores:
+    def test_publish_with_scores_round_trips(self, registry,
+                                             trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut, scores=SCORES)
+        assert registry.resolve("gcut").scores == SCORES
+
+    def test_attach_after_publish(self, registry, trained_dg_gcut):
+        record = registry.publish("gcut", trained_dg_gcut)
+        updated = registry.attach_scores(record, SCORES)
+        assert updated.scores == SCORES
+        assert registry.resolve("gcut@1").scores == SCORES
+
+    def test_attach_by_spec_string(self, registry, trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        registry.attach_scores("gcut@latest", SCORES)
+        assert registry.resolve("gcut").scores == SCORES
+
+    def test_attach_targets_one_version_only(self, registry,
+                                             trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        registry.publish("gcut", b"newer bytes")
+        registry.attach_scores("gcut@1", SCORES)
+        assert registry.resolve("gcut@1").scores == SCORES
+        assert registry.resolve("gcut@2").scores is None
+
+    def test_republish_identical_bytes_attaches(self, registry,
+                                                trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        record = registry.publish("gcut", trained_dg_gcut, scores=SCORES)
+        assert record.version == 1
+        assert registry.resolve("gcut").scores == SCORES
+        assert len(registry.versions("gcut")) == 1
+
+    def test_unknown_version_raises(self, registry, trained_dg_gcut):
+        record = registry.publish("gcut", trained_dg_gcut)
+        with pytest.raises(ModelNotFound, match="no model"):
+            registry.attach_scores("other@1", SCORES)
+        with pytest.raises(ModelNotFound, match="version"):
+            ghost = type(record)(name="gcut", version=9,
+                                 sha256=record.sha256,
+                                 nbytes=record.nbytes,
+                                 backend=record.backend)
+            registry.attach_scores(ghost, SCORES)
+
+    def test_unknown_score_keys_preserved(self, registry,
+                                          trained_dg_gcut):
+        """Keys a future version adds inside scores survive attach and
+        resolve verbatim (forward compatibility)."""
+        future = dict(SCORES, calibration={"bins": 10},
+                      novel_metric=0.123)
+        registry.publish("gcut", trained_dg_gcut, scores=future)
+        assert registry.resolve("gcut").scores == future
+        # and an unrelated attach on another version leaves them alone
+        registry.publish("gcut", b"newer bytes")
+        registry.attach_scores("gcut@2", SCORES)
+        assert registry.resolve("gcut@1").scores == future
+
+    def test_attach_preserves_entry_and_blob(self, registry,
+                                             trained_dg_gcut):
+        before = registry.publish("gcut", trained_dg_gcut,
+                                  meta={"note": "v1"})
+        after = registry.attach_scores(before, SCORES)
+        assert (after.sha256, after.nbytes, after.backend, after.meta) \
+            == (before.sha256, before.nbytes, before.backend, before.meta)
+        # records compare equal regardless of scores (compare=False)
+        assert after == before
+
+
+class TestServingIndifference:
+    def test_load_and_generate_ignore_scores(self, registry,
+                                             trained_dg_gcut):
+        registry.publish("gcut", trained_dg_gcut)
+        plain = registry.load("gcut").generate(
+            4, rng=np.random.default_rng(0))
+        registry.attach_scores("gcut@1", SCORES)
+        scored = registry.load("gcut").generate(
+            4, rng=np.random.default_rng(0))
+        assert np.array_equal(plain.features, scored.features)
+        assert np.array_equal(plain.attributes, scored.attributes)
+        assert np.array_equal(plain.lengths, scored.lengths)
